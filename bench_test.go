@@ -1,0 +1,266 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline/rowdb"
+	"repro/internal/baseline/sparklike"
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/flights"
+	"repro/internal/sketch"
+	"repro/internal/spreadsheet"
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+// The benchmarks below regenerate each evaluation artifact of the paper
+// at test scale; cmd/hillview-bench runs the same code at configurable
+// scale and prints the paper-style tables.
+//
+//	Figure 5  → BenchmarkFig5Ops       (per-op latency, both systems)
+//	Figure 6  → BenchmarkFig6Cold      (cold-start op latency)
+//	§7.2.1    → BenchmarkMicro         (single-thread histogram 3 ways)
+//	Figure 7  → BenchmarkFig7Leaves    (leaf scaling)
+//	Figure 8  → BenchmarkFig8Servers   (server scaling)
+//	Figure 11 → BenchmarkFig11Case     (case-study scripts)
+
+var (
+	fig5Once sync.Once
+	fig5Env  *bench.HVEnv
+	fig5View *spreadsheet.View
+	fig5Err  error
+)
+
+func benchParams() bench.Params {
+	p := bench.DefaultParams()
+	p.BaseRows = 50000
+	p.Cols = 30
+	p.Workers = 2
+	p.PartsPerWorker = 4
+	return p
+}
+
+func fig5Setup(b *testing.B) (*bench.HVEnv, *spreadsheet.View) {
+	b.Helper()
+	fig5Once.Do(func() {
+		fig5Env, fig5Err = bench.StartHV(benchParams())
+		if fig5Err != nil {
+			return
+		}
+		fig5View, fig5Err = fig5Env.LoadScale(1)
+	})
+	if fig5Err != nil {
+		b.Fatal(fig5Err)
+	}
+	return fig5Env, fig5View
+}
+
+// BenchmarkFig5Ops measures every Figure 4 operation on Hillview (over
+// loopback workers) and on the Spark-like baseline (Figure 5 top).
+func BenchmarkFig5Ops(b *testing.B) {
+	env, view := fig5Setup(b)
+	for _, op := range bench.Ops {
+		b.Run("Hillview/"+op.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Deterministic headline sketches (O7, O9) are cacheable;
+				// invalidate so every iteration computes rather than
+				// probing the cache.
+				env.Sheet.Root().Cache().InvalidateDataset(view.ID())
+				if err := op.Hillview(context.Background(), view, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	p := benchParams()
+	parts := bench.GenScale(p, 1)
+	eng := sparklike.New(p.Workers * p.WorkerParallelism)
+	for _, op := range bench.Ops {
+		b.Run("Spark/"+op.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				senv := bench.NewSparkEnv(eng, parts)
+				if err := op.Spark(senv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6Cold measures a cold-start histogram: data evicted from
+// every worker, reloaded from .hvc files as part of the operation
+// (Figure 6).
+func BenchmarkFig6Cold(b *testing.B) {
+	p := benchParams()
+	dir := b.TempDir()
+	src, err := bench.WriteColdShards(p, 1, dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := bench.StartHV(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	view, err := env.Sheet.Load("cold", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op, err := bench.OpByName("O5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		env.DropData(1) // evict soft state everywhere
+		env.Sheet.Root().Cache().InvalidateDataset("cold")
+		b.StartTimer()
+		if err := op.Hillview(context.Background(), view, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicro is the §7.2.1 single-thread comparison: streaming
+// vizketch vs sampled vizketch vs general-purpose row database.
+func BenchmarkMicro(b *testing.B) {
+	const rows = 1000000
+	t := flights.Gen("bench-micro", rows, 1, flights.CoreColumns)
+	spec := sketch.NumericBuckets(table.KindDouble, 0, 3000, 25)
+
+	b.Run("streaming", func(b *testing.B) {
+		sk := &sketch.HistogramSketch{Col: "Distance", Buckets: spec}
+		for i := 0; i < b.N; i++ {
+			if _, err := sk.Summarize(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sampling", func(b *testing.B) {
+		rate := sketch.Rate(sketch.HistogramSampleSize(25, 100, 0.01), rows)
+		for i := 0; i < b.N; i++ {
+			sk := &sketch.SampledHistogramSketch{Col: "Distance", Buckets: spec, Rate: rate, Seed: uint64(i)}
+			if _, err := sk.Summarize(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("database", func(b *testing.B) {
+		// The row database holds boxed rows; load a tenth of the data
+		// once and time only the query.
+		small := flights.Gen("bench-db", rows/10, 1, flights.CoreColumns)
+		db := rowdb.New()
+		if err := db.LoadColumnar("flights", small, nil); err != nil {
+			b.Fatal(err)
+		}
+		dbt, err := db.Table("flights")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pos, err := dbt.ColPos("Distance")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Execute(rowdb.Query{
+				Table:   "flights",
+				GroupBy: rowdb.FloorDiv{X: rowdb.Col{Pos: pos}, Off: 0, Width: 120},
+				Aggs:    []rowdb.Agg{{Kind: rowdb.AggCount}},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(rows/10), "rows")
+	})
+}
+
+// BenchmarkFig7Leaves measures histogram latency as leaves and shards
+// grow together (Figure 7: flat streaming, super-linear sampling).
+func BenchmarkFig7Leaves(b *testing.B) {
+	const rowsPerLeaf = 50000
+	for _, leaves := range []int{1, 4, 16} {
+		parts := flights.GenPartitions(fmt.Sprintf("b7-%d", leaves), rowsPerLeaf*leaves, leaves, 1, flights.CoreColumns)
+		ds := engine.NewLocal("b7", parts, engine.Config{Parallelism: leaves, AggregationWindow: -1})
+		spec := sketch.NumericBuckets(table.KindDouble, 0, 3000, 25)
+		b.Run(fmt.Sprintf("streaming/leaves=%d", leaves), func(b *testing.B) {
+			sk := &sketch.HistogramSketch{Col: "Distance", Buckets: spec}
+			for i := 0; i < b.N; i++ {
+				if _, err := ds.Sketch(context.Background(), sk, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sampled/leaves=%d", leaves), func(b *testing.B) {
+			rate := sketch.Rate(sketch.HistogramSampleSize(25, 100, 0.01), rowsPerLeaf*leaves)
+			for i := 0; i < b.N; i++ {
+				sk := &sketch.SampledHistogramSketch{Col: "Distance", Buckets: spec, Rate: rate, Seed: uint64(i)}
+				if _, err := ds.Sketch(context.Background(), sk, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Servers measures histogram latency as worker servers and
+// data grow together over loopback TCP (Figure 8).
+func BenchmarkFig8Servers(b *testing.B) {
+	for _, servers := range []int{1, 2, 4} {
+		p := benchParams()
+		p.Workers = servers
+		p.WorkerParallelism = 2
+		env, err := bench.StartHV(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := fmt.Sprintf("b8-%d", servers)
+		src := fmt.Sprintf("flights:rows=100000,parts=8,cols=20,seed=%d00{worker}", p.Seed)
+		if _, err := env.Sheet.Load(name, src); err != nil {
+			env.Close()
+			b.Fatal(err)
+		}
+		spec := sketch.NumericBuckets(table.KindDouble, 0, 3000, 25)
+		b.Run(fmt.Sprintf("streaming/servers=%d", servers), func(b *testing.B) {
+			sk := &sketch.HistogramSketch{Col: "Distance", Buckets: spec}
+			for i := 0; i < b.N; i++ {
+				env.Sheet.Root().Cache().InvalidateDataset(name) // cacheable sketch
+				if _, err := env.Sheet.Root().RunSketch(context.Background(), name, sk, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sampled/servers=%d", servers), func(b *testing.B) {
+			rate := sketch.Rate(sketch.HistogramSampleSize(25, 100, 0.01), 100000*servers)
+			for i := 0; i < b.N; i++ {
+				sk := &sketch.SampledHistogramSketch{Col: "Distance", Buckets: spec, Rate: rate, Seed: uint64(i)}
+				if _, err := env.Sheet.Root().RunSketch(context.Background(), name, sk, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		env.Close()
+	}
+}
+
+// BenchmarkFig11Case replays the case-study scripts (Figure 11 machine
+// time).
+func BenchmarkFig11Case(b *testing.B) {
+	root := engine.NewRoot(storage.NewLoader(engine.Config{AggregationWindow: -1}, 0))
+	sheet := spreadsheet.New(root)
+	view, err := sheet.Load("fl", "flights:rows=50000,parts=4,seed=7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig11(view); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

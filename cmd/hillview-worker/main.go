@@ -1,0 +1,50 @@
+// Command hillview-worker runs one Hillview worker server: it loads
+// dataset shards from local storage on request and executes vizketches
+// over them, streaming partial results to the root (paper Fig. 1).
+//
+// Workers are stateless: all loaded data is soft state that the root
+// rebuilds through its redo log after a restart (paper §5.8), so a
+// worker can be killed and restarted at any time.
+//
+// Usage:
+//
+//	hillview-worker -listen :8100 [-micro 250000] [-parallelism 0]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/flights"
+	"repro/internal/storage"
+)
+
+func main() {
+	listen := flag.String("listen", ":8100", "address to listen on")
+	micro := flag.Int("micro", storage.DefaultMicroRows, "micropartition size in rows")
+	parallelism := flag.Int("parallelism", 0, "leaf thread pool size (0 = all cores)")
+	window := flag.Duration("window", engine.DefaultAggregationWindow, "partial-result aggregation window")
+	flag.Parse()
+
+	flights.Register()
+	cfg := engine.Config{Parallelism: *parallelism, AggregationWindow: *window}
+	w := cluster.NewWorker(storage.NewLoader(cfg, *micro))
+	w.SetLogf(log.Printf)
+	addr, err := w.Listen(*listen)
+	if err != nil {
+		log.Fatalf("hillview-worker: %v", err)
+	}
+	log.Printf("hillview-worker: serving on %s (micropartitions of %d rows)", addr, *micro)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("hillview-worker: shutting down")
+	w.Close()
+	time.Sleep(100 * time.Millisecond)
+}

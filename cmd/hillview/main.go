@@ -1,0 +1,332 @@
+// Command hillview runs the Hillview root: the web server of Figure 1.
+// It connects to worker servers (or hosts the data itself when no
+// workers are given), exposes the spreadsheet as an HTTP JSON API, and
+// streams progressive results over chunked NDJSON — the stdlib stand-in
+// for the paper's WebSocket streaming RPC (§6).
+//
+// Usage:
+//
+//	hillview -http :8080 [-workers host1:8100,host2:8100]
+//
+// Endpoints (all GET, JSON responses):
+//
+//	/api/load?name=fl&source=flights:rows=1000000     load a dataset
+//	/api/meta?view=fl                                 schema + row count
+//	/api/table?view=fl&order=+DepDelay&k=20           tabular page
+//	/api/histogram?view=fl&col=DepDelay&cdf=1         streams partials (NDJSON)
+//	/api/heatmap?view=fl&x=DepDelay&y=ArrDelay        heat map summary
+//	/api/heavyhitters?view=fl&col=Origin&k=20         heavy hitters
+//	/api/filter?view=fl&name=ua&expr=Carrier=="UA"    derive a view
+//	/api/svg/histogram?view=fl&col=DepDelay           rendered SVG
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/flights"
+	"repro/internal/render"
+	"repro/internal/sketch"
+	"repro/internal/spreadsheet"
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+type server struct {
+	sheet *spreadsheet.Sheet
+	mu    sync.Mutex
+	views map[string]*spreadsheet.View
+}
+
+func main() {
+	httpAddr := flag.String("http", ":8080", "HTTP listen address")
+	workers := flag.String("workers", "", "comma-separated worker addresses (empty = in-process engine)")
+	micro := flag.Int("micro", storage.DefaultMicroRows, "micropartition size for in-process mode")
+	flag.Parse()
+
+	flights.Register()
+	cfg := engine.Config{}
+	var loader engine.Loader
+	if *workers == "" {
+		loader = storage.NewLoader(cfg, *micro)
+		log.Printf("hillview: in-process engine")
+	} else {
+		addrs := strings.Split(*workers, ",")
+		c, err := cluster.Connect(addrs, cfg)
+		if err != nil {
+			log.Fatalf("hillview: %v", err)
+		}
+		defer c.Close()
+		loader = c.Loader()
+		log.Printf("hillview: connected to %d workers", len(addrs))
+	}
+	s := &server{
+		sheet: spreadsheet.New(engine.NewRoot(loader)),
+		views: make(map[string]*spreadsheet.View),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/load", s.handleLoad)
+	mux.HandleFunc("/api/meta", s.handleMeta)
+	mux.HandleFunc("/api/table", s.handleTable)
+	mux.HandleFunc("/api/histogram", s.handleHistogram)
+	mux.HandleFunc("/api/heatmap", s.handleHeatmap)
+	mux.HandleFunc("/api/heavyhitters", s.handleHeavyHitters)
+	mux.HandleFunc("/api/filter", s.handleFilter)
+	mux.HandleFunc("/api/svg/histogram", s.handleHistogramSVG)
+	log.Printf("hillview: listening on %s", *httpAddr)
+	log.Fatal(http.ListenAndServe(*httpAddr, mux))
+}
+
+func (s *server) view(r *http.Request) (*spreadsheet.View, error) {
+	name := r.URL.Query().Get("view")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[name]
+	if !ok {
+		return nil, fmt.Errorf("no view %q (load it first)", name)
+	}
+	return v, nil
+}
+
+func (s *server) putView(name string, v *spreadsheet.View) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.views[name] = v
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("hillview: write: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name, source := q.Get("name"), q.Get("source")
+	if name == "" || source == "" {
+		httpError(w, fmt.Errorf("need name and source"))
+		return
+	}
+	v, err := s.sheet.Load(name, source)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	s.putView(name, v)
+	writeJSON(w, map[string]any{"view": name, "rows": v.NumRows(), "columns": v.Schema().NumColumns()})
+}
+
+func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	v, err := s.view(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"rows": v.NumRows(), "schema": v.Schema().Columns})
+}
+
+// parseOrder parses "+ColA,-ColB" sort specs.
+func parseOrder(spec string) (table.RecordOrder, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("need order")
+	}
+	var out table.RecordOrder
+	for _, part := range strings.Split(spec, ",") {
+		if part == "" {
+			continue
+		}
+		asc := true
+		switch part[0] {
+		case '+':
+			part = part[1:]
+		case '-':
+			asc, part = false, part[1:]
+		}
+		out = append(out, table.ColumnSortOrder{Column: part, Ascending: asc})
+	}
+	return out, nil
+}
+
+func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
+	v, err := s.view(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	order, err := parseOrder(q.Get("order"))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	k, _ := strconv.Atoi(q.Get("k"))
+	var extra []string
+	if e := q.Get("extra"); e != "" {
+		extra = strings.Split(e, ",")
+	}
+	list, err := v.TableView(r.Context(), order, extra, k, nil, nil)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	rows := make([][]string, len(list.Rows))
+	for i, row := range list.Rows {
+		rows[i] = make([]string, len(row))
+		for c, val := range row {
+			rows[i][c] = val.String()
+		}
+	}
+	writeJSON(w, map[string]any{
+		"columns": append(order.Columns(), extra...),
+		"rows":    rows, "counts": list.Counts, "position": list.Before, "total": list.Total,
+	})
+}
+
+// handleHistogram streams progressive NDJSON: one line per partial
+// result, then a final line — the browser renders each as it arrives
+// (paper §5.3's progressive visualization over the stdlib equivalent of
+// a WebSocket).
+func (s *server) handleHistogram(w http.ResponseWriter, r *http.Request) {
+	v, err := s.view(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	col := q.Get("col")
+	bars, _ := strconv.Atoi(q.Get("bars"))
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+
+	enc := json.NewEncoder(w)
+	var mu sync.Mutex
+	hv, err := v.Histogram(r.Context(), col, spreadsheet.ChartOptions{
+		Bars:    bars,
+		WithCDF: q.Get("cdf") == "1",
+		Exact:   q.Get("exact") == "1",
+		OnPartial: func(p engine.Partial) {
+			mu.Lock()
+			defer mu.Unlock()
+			h, ok := p.Result.(*sketch.Histogram)
+			if !ok {
+				return
+			}
+			enc.Encode(map[string]any{"partial": true, "done": p.Done, "total": p.Total, "counts": h.Counts})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		},
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	enc.Encode(map[string]any{
+		"partial": false, "counts": hv.Hist.Counts, "missing": hv.Hist.Missing,
+		"rate": hv.Hist.SampleRate, "buckets": hv.Buckets,
+		"cdf": cdfOrNil(hv.CDF),
+	})
+}
+
+func cdfOrNil(h *sketch.Histogram) []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.CDF()
+}
+
+func (s *server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	v, err := s.view(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	hm, err := v.Heatmap(r.Context(), q.Get("x"), q.Get("y"), spreadsheet.ChartOptions{})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"x": hm.Result.X, "y": hm.Result.Y, "counts": hm.Result.Counts, "rate": hm.Result.SampleRate,
+	})
+}
+
+func (s *server) handleHeavyHitters(w http.ResponseWriter, r *http.Request) {
+	v, err := s.view(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	k, _ := strconv.Atoi(q.Get("k"))
+	if k <= 0 {
+		k = 20
+	}
+	items, err := v.HeavyHitters(r.Context(), q.Get("col"), k, q.Get("sampled") == "1")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	type item struct {
+		Value string `json:"value"`
+		Count int64  `json:"count"`
+	}
+	out := make([]item, len(items))
+	for i, it := range items {
+		out[i] = item{Value: it.Value.String(), Count: it.Count}
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
+	v, err := s.view(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	name, expr := q.Get("name"), q.Get("expr")
+	if name == "" || expr == "" {
+		httpError(w, fmt.Errorf("need name and expr"))
+		return
+	}
+	nv, err := v.FilterExpr(expr)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	s.putView(name, nv)
+	writeJSON(w, map[string]any{"view": name, "rows": nv.NumRows()})
+}
+
+func (s *server) handleHistogramSVG(w http.ResponseWriter, r *http.Request) {
+	v, err := s.view(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	hv, err := v.Histogram(r.Context(), q.Get("col"), spreadsheet.ChartOptions{WithCDF: q.Get("cdf") == "1"})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, render.HistogramSVG(hv.Hist, hv.CDF, spreadsheet.DefaultWidth, spreadsheet.DefaultHeight))
+}

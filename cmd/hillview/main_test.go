@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/flights"
+	"repro/internal/spreadsheet"
+	"repro/internal/storage"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	flights.Register()
+	return &server{
+		sheet: spreadsheet.New(engine.NewRoot(storage.NewLoader(engine.Config{AggregationWindow: -1}, 0))),
+		views: make(map[string]*spreadsheet.View),
+	}
+}
+
+func get(t *testing.T, h http.HandlerFunc, url string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	var body map[string]any
+	if rec.Code == http.StatusOK && strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+		}
+	}
+	return rec, body
+}
+
+func TestParseOrder(t *testing.T) {
+	o, err := parseOrder("+A,-B,C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o) != 3 || !o[0].Ascending || o[1].Ascending || !o[2].Ascending {
+		t.Fatalf("order = %v", o)
+	}
+	if _, err := parseOrder(""); err == nil {
+		t.Error("empty order should fail")
+	}
+}
+
+func TestLoadMetaTableEndpoints(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s.handleLoad, "/api/load?name=fl&source=flights:rows=5000,parts=2,seed=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("load: %d %s", rec.Code, rec.Body.String())
+	}
+	if body["rows"].(float64) != 5000 {
+		t.Errorf("rows = %v", body["rows"])
+	}
+	rec, body = get(t, s.handleMeta, "/api/meta?view=fl")
+	if rec.Code != http.StatusOK || body["schema"] == nil {
+		t.Fatalf("meta: %d", rec.Code)
+	}
+	rec, body = get(t, s.handleTable, "/api/table?view=fl&order=-DepDelay&extra=Carrier&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("table: %d %s", rec.Code, rec.Body.String())
+	}
+	if rows := body["rows"].([]any); len(rows) != 5 {
+		t.Errorf("rows = %d", len(rows))
+	}
+	// Error paths.
+	rec, _ = get(t, s.handleMeta, "/api/meta?view=ghost")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("ghost view: %d", rec.Code)
+	}
+	rec, _ = get(t, s.handleLoad, "/api/load?name=only")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing source: %d", rec.Code)
+	}
+}
+
+func TestHistogramEndpointStreamsNDJSON(t *testing.T) {
+	s := testServer(t)
+	if rec, _ := get(t, s.handleLoad, "/api/load?name=fl&source=flights:rows=20000,parts=8,seed=2"); rec.Code != 200 {
+		t.Fatal(rec.Body.String())
+	}
+	req := httptest.NewRequest("GET", "/api/histogram?view=fl&col=DepDelay&bars=20&cdf=1", nil)
+	rec := httptest.NewRecorder()
+	s.handleHistogram(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("histogram: %d %s", rec.Code, rec.Body.String())
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) < 1 {
+		t.Fatal("no NDJSON lines")
+	}
+	// The last line is the final summary with buckets and cdf.
+	var final map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil {
+		t.Fatal(err)
+	}
+	if final["partial"] != false {
+		t.Errorf("last line should be final: %v", final)
+	}
+	if counts := final["counts"].([]any); len(counts) != 20 {
+		t.Errorf("bars = %d", len(counts))
+	}
+	if final["cdf"] == nil {
+		t.Error("cdf missing")
+	}
+}
+
+func TestFilterAndHeavyHittersEndpoints(t *testing.T) {
+	s := testServer(t)
+	get(t, s.handleLoad, "/api/load?name=fl&source=flights:rows=10000,parts=2,seed=3")
+	rec, body := get(t, s.handleFilter, `/api/filter?view=fl&name=ua&expr=Carrier=="UA"`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("filter: %d %s", rec.Code, rec.Body.String())
+	}
+	if body["rows"].(float64) <= 0 {
+		t.Error("empty filter result")
+	}
+	req := httptest.NewRequest("GET", "/api/heavyhitters?view=ua&col=Carrier&k=5", nil)
+	rec = httptest.NewRecorder()
+	s.handleHeavyHitters(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("hh: %d", rec.Code)
+	}
+	var items []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || items[0]["value"] != "UA" {
+		t.Errorf("items = %v", items)
+	}
+}
+
+func TestSVGEndpoint(t *testing.T) {
+	s := testServer(t)
+	get(t, s.handleLoad, "/api/load?name=fl&source=flights:rows=5000,parts=2,seed=4")
+	req := httptest.NewRequest("GET", "/api/svg/histogram?view=fl&col=Distance", nil)
+	rec := httptest.NewRecorder()
+	s.handleHistogramSVG(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("svg: %d %s", rec.Code, rec.Body.String())
+	}
+	if !strings.HasPrefix(rec.Body.String(), "<svg") {
+		t.Error("not SVG output")
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+func TestHeatmapEndpoint(t *testing.T) {
+	s := testServer(t)
+	get(t, s.handleLoad, "/api/load?name=fl&source=flights:rows=10000,parts=2,seed=5")
+	rec, body := get(t, s.handleHeatmap, "/api/heatmap?view=fl&x=DepDelay&y=ArrDelay")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("heatmap: %d %s", rec.Code, rec.Body.String())
+	}
+	if body["counts"] == nil || body["rate"] == nil {
+		t.Error("heatmap response incomplete")
+	}
+	rec, _ = get(t, s.handleHeatmap, "/api/heatmap?view=fl&x=NoCol&y=ArrDelay")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad column: %d", rec.Code)
+	}
+}

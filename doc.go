@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go reproduction of Hillview (Budiu et
+// al., "Hillview: A trillion-cell spreadsheet for big data", VLDB 2019):
+// a distributed spreadsheet built on vizketches — mergeable summaries
+// whose precision derives from the display resolution — and a
+// specialized execution engine that runs them over trees of workers
+// with progressive results, computation caching, and redo-log fault
+// tolerance.
+//
+// The public surface lives in the internal packages (this module is a
+// reproduction artifact, not a published library API):
+//
+//   - internal/table — columnar tables, membership sets, sampling
+//   - internal/sketch — the vizketch library
+//   - internal/engine — execution trees, caches, redo log
+//   - internal/cluster — the TCP worker protocol
+//   - internal/spreadsheet — the user-facing operations
+//   - internal/bench — the paper's evaluation, regenerated
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate each evaluation artifact at test scale;
+// cmd/hillview-bench runs them at configurable scale.
+package repro

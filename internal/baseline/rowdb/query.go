@@ -1,0 +1,345 @@
+package rowdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Expr is an interpreted scalar expression over a boxed row. Every
+// evaluation goes through interface dispatch and dynamic type checks —
+// the per-row interpretation cost that general-purpose engines pay and
+// specialized scan loops avoid.
+type Expr interface {
+	Eval(row []any) (any, error)
+}
+
+// Col references a column by resolved position.
+type Col struct{ Pos int }
+
+// Eval implements Expr.
+func (e Col) Eval(row []any) (any, error) { return row[e.Pos], nil }
+
+// Lit is a literal value.
+type Lit struct{ V any }
+
+// Eval implements Expr.
+func (e Lit) Eval(row []any) (any, error) { return e.V, nil }
+
+// Arith applies +, -, *, / with numeric promotion.
+type Arith struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (e Arith) Eval(row []any) (any, error) {
+	l, err := e.L.Eval(row)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.R.Eval(row)
+	if err != nil {
+		return nil, err
+	}
+	if l == nil || r == nil {
+		return nil, nil
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("rowdb: arithmetic over %T and %T", l, r)
+	}
+	switch e.Op {
+	case '+':
+		return lf + rf, nil
+	case '-':
+		return lf - rf, nil
+	case '*':
+		return lf * rf, nil
+	case '/':
+		if rf == 0 {
+			return nil, nil
+		}
+		return lf / rf, nil
+	default:
+		return nil, fmt.Errorf("rowdb: unknown arith op %q", e.Op)
+	}
+}
+
+// Cmp compares two expressions, yielding bool.
+type Cmp struct {
+	Op   string // "=", "!=", "<", "<=", ">", ">="
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (e Cmp) Eval(row []any) (any, error) {
+	l, err := e.L.Eval(row)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.R.Eval(row)
+	if err != nil {
+		return nil, err
+	}
+	if l == nil || r == nil {
+		return nil, nil // SQL three-valued logic: NULL
+	}
+	c, err := compareBoxed(l, r)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case "=":
+		return c == 0, nil
+	case "!=":
+		return c != 0, nil
+	case "<":
+		return c < 0, nil
+	case "<=":
+		return c <= 0, nil
+	case ">":
+		return c > 0, nil
+	case ">=":
+		return c >= 0, nil
+	default:
+		return nil, fmt.Errorf("rowdb: unknown comparison %q", e.Op)
+	}
+}
+
+// FloorDiv buckets a numeric expression: floor((x - off) / width),
+// the GROUP BY expression of a SQL histogram.
+type FloorDiv struct {
+	X          Expr
+	Off, Width float64
+}
+
+// Eval implements Expr.
+func (e FloorDiv) Eval(row []any) (any, error) {
+	v, err := e.X.Eval(row)
+	if err != nil || v == nil {
+		return nil, err
+	}
+	f, ok := toFloat(v)
+	if !ok {
+		return nil, fmt.Errorf("rowdb: bucket over %T", v)
+	}
+	return int64(math.Floor((f - e.Off) / e.Width)), nil
+}
+
+// AggKind selects an aggregate function.
+type AggKind uint8
+
+// Aggregates.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// Agg is one aggregate in the SELECT list.
+type Agg struct {
+	Kind AggKind
+	Arg  Expr // nil for COUNT(*)
+}
+
+// Query is SELECT [GroupBy,] Aggs FROM Table WHERE Where GROUP BY
+// GroupBy. A nil Where selects all visible rows; a nil GroupBy yields a
+// single group.
+type Query struct {
+	Table   string
+	Where   Expr
+	GroupBy Expr
+	Aggs    []Agg
+}
+
+// GroupRow is one result row: the group key plus aggregate values.
+type GroupRow struct {
+	Key  any
+	Aggs []float64
+}
+
+// Execute runs the query under a fresh snapshot: every row passes the
+// MVCC visibility check, the WHERE interpreter, and the GROUP BY
+// interpreter before the aggregates update — the row-at-a-time
+// Volcano-style execution of a general-purpose engine.
+func (db *DB) Execute(q Query) ([]GroupRow, error) {
+	t, err := db.Table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	snapshot := db.begin()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	type groupState struct {
+		counts []float64
+		seen   []bool
+	}
+	groups := make(map[any]*groupState)
+	ensure := func(key any) *groupState {
+		g, ok := groups[key]
+		if !ok {
+			g = &groupState{counts: make([]float64, len(q.Aggs)), seen: make([]bool, len(q.Aggs))}
+			groups[key] = g
+		}
+		return g
+	}
+
+	for i, row := range t.rows {
+		h := t.headers[i]
+		if h.xmin >= snapshot || (h.xmax != 0 && h.xmax < snapshot) {
+			continue // not visible to this snapshot
+		}
+		if q.Where != nil {
+			keep, err := q.Where.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			b, _ := keep.(bool)
+			if !b {
+				continue
+			}
+		}
+		var key any
+		if q.GroupBy != nil {
+			key, err = q.GroupBy.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			if key == nil {
+				continue // NULL group keys drop, as in SQL aggregation over NULL buckets
+			}
+		}
+		g := ensure(key)
+		for ai, agg := range q.Aggs {
+			switch agg.Kind {
+			case AggCount:
+				g.counts[ai]++
+			default:
+				v, err := agg.Arg.Eval(row)
+				if err != nil {
+					return nil, err
+				}
+				if v == nil {
+					continue
+				}
+				f, ok := toFloat(v)
+				if !ok {
+					return nil, fmt.Errorf("rowdb: aggregate over %T", v)
+				}
+				switch agg.Kind {
+				case AggSum:
+					g.counts[ai] += f
+				case AggMin:
+					if !g.seen[ai] || f < g.counts[ai] {
+						g.counts[ai] = f
+					}
+				case AggMax:
+					if !g.seen[ai] || f > g.counts[ai] {
+						g.counts[ai] = f
+					}
+				}
+				g.seen[ai] = true
+			}
+		}
+	}
+	out := make([]GroupRow, 0, len(groups))
+	for key, g := range groups {
+		out = append(out, GroupRow{Key: key, Aggs: g.counts})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		c, _ := compareBoxed(out[i].Key, out[j].Key)
+		return c < 0
+	})
+	return out, nil
+}
+
+// LookupIndex serves point queries through a secondary index, the
+// access path a general-purpose engine would pick for equality
+// predicates.
+func (db *DB) LookupIndex(tableName, col string, value any) ([]int, error) {
+	t, err := db.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, fmt.Errorf("rowdb: no index on %q", col)
+	}
+	return idx[value], nil
+}
+
+// ColPos resolves a column name for building expressions.
+func (t *Table) ColPos(name string) (int, error) {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("rowdb: no column %q", name)
+	}
+	return i, nil
+}
+
+// NumRows returns the physical row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+func compareBoxed(a, b any) (int, error) {
+	if a == nil || b == nil {
+		switch {
+		case a == nil && b == nil:
+			return 0, nil
+		case a == nil:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if af, ok := toFloat(a); ok {
+		bf, ok := toFloat(b)
+		if !ok {
+			return 0, fmt.Errorf("rowdb: comparing %T with %T", a, b)
+		}
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	as, ok := a.(string)
+	if !ok {
+		return 0, fmt.Errorf("rowdb: cannot compare %T", a)
+	}
+	bs, ok := b.(string)
+	if !ok {
+		return 0, fmt.Errorf("rowdb: comparing %T with %T", a, b)
+	}
+	switch {
+	case as < bs:
+		return -1, nil
+	case as > bs:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}

@@ -1,0 +1,203 @@
+// Package sparklike is the general-purpose distributed analytics
+// baseline of the paper's end-to-end comparison (§7.1): a stage-based
+// engine in the style of Spark. The harness gives it the same
+// algorithmic optimizations as Hillview (including sampling, as the
+// paper did), so the comparison isolates the *architectural*
+// differences the paper attributes the gap to:
+//
+//   - collect semantics: every partition's full result is serialized
+//     and shipped to the driver, which merges; there is no aggregation
+//     tree and no resolution-bounded truncation, so bytes at the driver
+//     scale with partition count × result size;
+//   - row-object serialization: results travel as generic field-name →
+//     boxed-value maps (the moral equivalent of serialized Row objects),
+//     an order of magnitude heavier than Hillview's packed summaries;
+//   - barrier execution: the driver waits for every partition before it
+//     has anything to show — no progressive first-partial.
+package sparklike
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/table"
+)
+
+// Row is a driver-side result row: field name → boxed value. This is
+// the verbose, self-describing representation that makes collect()
+// heavy.
+type Row map[string]any
+
+// RDD is a partitioned dataset (resilient in name only: lineage
+// replay is the engine package's subject, not this baseline's).
+type RDD struct {
+	parts []*table.Table
+	eng   *Engine
+}
+
+// Engine tracks driver-side accounting across jobs.
+type Engine struct {
+	bytesCollected atomic.Int64
+	tasksRun       atomic.Int64
+	parallelism    int
+}
+
+// New creates an engine with the given task parallelism
+// (0 = GOMAXPROCS).
+func New(parallelism int) *Engine {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{parallelism: parallelism}
+}
+
+// BytesCollected returns the cumulative bytes of serialized partition
+// results received by the driver — the quantity compared against the
+// Hillview root's received bytes in Figure 5 (bottom).
+func (e *Engine) BytesCollected() int64 { return e.bytesCollected.Load() }
+
+// TasksRun returns the number of partition tasks executed.
+func (e *Engine) TasksRun() int64 { return e.tasksRun.Load() }
+
+// ResetCounters clears accounting between measurements.
+func (e *Engine) ResetCounters() {
+	e.bytesCollected.Store(0)
+	e.tasksRun.Store(0)
+}
+
+// Parallelize wraps partitions as an RDD.
+func (e *Engine) Parallelize(parts []*table.Table) *RDD {
+	return &RDD{parts: parts, eng: e}
+}
+
+// NumPartitions returns the partition count.
+func (r *RDD) NumPartitions() int { return len(r.parts) }
+
+// Filter derives an RDD keeping rows that satisfy keep. The predicate
+// runs eagerly per partition (this baseline does not model lazy DAG
+// optimization; the measured queries are single-stage).
+func (r *RDD) Filter(keep func(t *table.Table, row int) bool) *RDD {
+	out := make([]*table.Table, len(r.parts))
+	r.eng.foreach(len(r.parts), func(i int) error {
+		p := r.parts[i]
+		out[i] = p.Filter(fmt.Sprintf("%s-f", p.ID()), func(row int) bool { return keep(p, row) })
+		return nil
+	})
+	return &RDD{parts: out, eng: r.eng}
+}
+
+// MapPartitions runs fn over every partition in parallel, serializes
+// each partition result (as a real collect would to cross the
+// executor/driver boundary), counts the bytes, and hands the decoded
+// results to the driver. The serialize/deserialize round trip is paid
+// on purpose: it is the cost being measured.
+func (r *RDD) MapPartitions(fn func(t *table.Table) (any, error)) ([]any, error) {
+	results := make([][]byte, len(r.parts))
+	errs := make([]error, len(r.parts))
+	r.eng.foreach(len(r.parts), func(i int) error {
+		r.eng.tasksRun.Add(1)
+		res, err := fn(r.parts[i])
+		if err != nil {
+			errs[i] = err
+			return nil
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&res); err != nil {
+			errs[i] = fmt.Errorf("sparklike: serialize: %w", err)
+			return nil
+		}
+		results[i] = buf.Bytes()
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Barrier: everything arrives at the driver before merging starts.
+	out := make([]any, len(results))
+	for i, blob := range results {
+		r.eng.bytesCollected.Add(int64(len(blob)))
+		var v any
+		if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&v); err != nil {
+			return nil, fmt.Errorf("sparklike: deserialize: %w", err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Collect materializes the named columns of every row as driver Rows —
+// the collect() a visualization front-end calls when it wants the data
+// itself rather than an aggregate.
+func (r *RDD) Collect(cols []string) ([]Row, error) {
+	parts, err := r.MapPartitions(func(t *table.Table) (any, error) {
+		idx := make([]int, len(cols))
+		for i, c := range cols {
+			p := t.Schema().ColumnIndex(c)
+			if p < 0 {
+				return nil, fmt.Errorf("sparklike: no column %q", c)
+			}
+			idx[i] = p
+		}
+		var rows []Row
+		t.Members().Iterate(func(row int) bool {
+			m := make(Row, len(cols))
+			for i, c := range cols {
+				v := t.ColumnAt(idx[i]).Value(row)
+				if v.Missing {
+					continue
+				}
+				switch v.Kind {
+				case table.KindInt, table.KindDate:
+					m[c] = v.I
+				case table.KindDouble:
+					m[c] = v.D
+				default:
+					m[c] = v.S
+				}
+			}
+			rows = append(rows, m)
+			return true
+		})
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for _, p := range parts {
+		out = append(out, p.([]Row)...)
+	}
+	return out, nil
+}
+
+// foreach runs fn(i) for i in [0, n) with bounded parallelism.
+func (e *Engine) foreach(n int, fn func(i int) error) {
+	sem := make(chan struct{}, e.parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_ = fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func init() {
+	gob.Register(Row{})
+	gob.Register([]Row(nil))
+	gob.Register(map[string]int64{})
+	gob.Register([]int64(nil))
+	gob.Register([]float64(nil))
+	gob.Register([]string(nil))
+	gob.Register([]any(nil))
+}

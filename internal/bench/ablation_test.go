@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAblateWindow(t *testing.T) {
+	p := tinyParams()
+	points, err := RunAblateWindow(p, []time.Duration{time.Nanosecond, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// A tiny window yields at least as many partials as disabled
+	// partials (which yields exactly the final ones).
+	if points[0].Partials < points[1].Partials {
+		t.Errorf("1ns window gave %d partials, disabled gave %d", points[0].Partials, points[1].Partials)
+	}
+	if points[0].Bytes <= 0 || points[1].Bytes <= 0 {
+		t.Error("no bytes accounted")
+	}
+	var buf bytes.Buffer
+	PrintWindowAblation(&buf, points)
+	if !strings.Contains(buf.String(), "window") {
+		t.Error("print incomplete")
+	}
+}
+
+func TestAblateMicroParts(t *testing.T) {
+	points, err := RunAblateMicroParts(50000, []int{5000, 50000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Parts != 10 || points[1].Parts != 1 {
+		t.Errorf("parts = %d/%d", points[0].Parts, points[1].Parts)
+	}
+	var buf bytes.Buffer
+	PrintMicroPartAblation(&buf, points)
+	if !strings.Contains(buf.String(), "rows/part") {
+		t.Error("print incomplete")
+	}
+}
+
+func TestAblateCrossover(t *testing.T) {
+	points, err := RunAblateCrossover([]int{20000, 200000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The sampling rate must fall as data grows (fixed display target).
+	if points[1].Rate >= points[0].Rate {
+		t.Errorf("rate did not fall: %g -> %g", points[0].Rate, points[1].Rate)
+	}
+	var buf bytes.Buffer
+	PrintCrossoverAblation(&buf, points)
+	if !strings.Contains(buf.String(), "streaming") {
+		t.Error("print incomplete")
+	}
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+)
+
+// Fig9Entry reports the implementation size of one vizketch, mirroring
+// Figure 9 ("Effort required to implement vizketches"). The paper
+// counts back-end Java lines; we count the Go lines of the
+// corresponding sketch implementation (comments and blanks excluded, as
+// is conventional for LoC).
+type Fig9Entry struct {
+	Vizketch string
+	File     string
+	LOC      int
+	PaperLOC int
+}
+
+// fig9Map maps each Figure 9 vizketch to its implementation file and
+// the paper's reported line count.
+var fig9Map = []Fig9Entry{
+	{Vizketch: "Histogram", File: "histogram.go", PaperLOC: 114},
+	{Vizketch: "CDF", File: "histogram.go", PaperLOC: 114},
+	{Vizketch: "Stacked histogram", File: "hist2d.go", PaperLOC: 130},
+	{Vizketch: "Heatmap", File: "hist2d.go", PaperLOC: 130},
+	{Vizketch: "Heatmap trellis", File: "trellis.go", PaperLOC: 127},
+	{Vizketch: "Quantile", File: "quantile.go", PaperLOC: 79},
+	{Vizketch: "Next items", File: "nextk.go", PaperLOC: 191},
+	{Vizketch: "Find text", File: "findtext.go", PaperLOC: 108},
+	{Vizketch: "Heavy hitters (sampling)", File: "samplehh.go", PaperLOC: 35},
+	{Vizketch: "Range", File: "rangesketch.go", PaperLOC: 156},
+	{Vizketch: "Number distinct", File: "distinct.go", PaperLOC: 117},
+}
+
+// RunFig9 counts the non-blank, non-comment lines of each vizketch
+// source file under sketchDir (normally internal/sketch of this
+// repository).
+func RunFig9(sketchDir string) ([]Fig9Entry, error) {
+	out := make([]Fig9Entry, len(fig9Map))
+	copy(out, fig9Map)
+	for i := range out {
+		n, err := countLOC(filepath.Join(sketchDir, out[i].File))
+		if err != nil {
+			return nil, err
+		}
+		out[i].LOC = n
+	}
+	return out, nil
+}
+
+// countLOC counts code lines: blanks and //-comment-only lines are
+// excluded.
+func countLOC(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+// PrintFig9 renders the effort table next to the paper's numbers.
+func PrintFig9(w io.Writer, entries []Fig9Entry) {
+	fmt.Fprintln(w, "Figure 9: vizketch implementation effort (code lines)")
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "vizketch\tthis repo (Go)\tpaper (Java)\n")
+	for _, e := range entries {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", e.Vizketch, e.LOC, e.PaperLOC)
+	}
+	tw.Flush()
+}

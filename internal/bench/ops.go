@@ -1,0 +1,187 @@
+// Package bench implements the paper's evaluation (§7): the workload
+// operations of Figure 4, the end-to-end comparisons of Figures 5–6,
+// the microbenchmark of §7.2.1, the scalability experiments of
+// Figures 7–8, the implementation-effort table of Figure 9, and the
+// case study of Figures 10–11. cmd/hillview-bench and the root
+// bench_test.go drive it.
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/spreadsheet"
+	"repro/internal/table"
+)
+
+// Op is one spreadsheet operation of Figure 4, with an implementation
+// on Hillview (through the spreadsheet API, i.e. vizketches through the
+// engine) and on the Spark-like baseline (same algorithmic
+// optimizations, collect-to-driver architecture).
+type Op struct {
+	Name string
+	Desc string
+	// ColdEligible marks ops measured in Figure 6 (O4 and O6 are not:
+	// "in the spreadsheet these operations never happen with cold
+	// data").
+	ColdEligible bool
+	Hillview     func(ctx context.Context, v *spreadsheet.View, onPartial engine.PartialFunc) error
+	Spark        func(env *SparkEnv) error
+}
+
+// pageK is the tabular page size used by the sort ops.
+const pageK = 20
+
+// chartOpts returns the display geometry used by every chart op; one
+// geometry everywhere makes the sampled rates comparable across ops.
+func chartOpts(onPartial engine.PartialFunc, withCDF bool) spreadsheet.ChartOptions {
+	return spreadsheet.ChartOptions{
+		Width:     spreadsheet.DefaultWidth,
+		Height:    100,
+		Bars:      spreadsheet.DefaultBars,
+		WithCDF:   withCDF,
+		OnPartial: onPartial,
+	}
+}
+
+var numericSort5 = table.Asc("DepDelay").
+	Then("ArrDelay", true).
+	Then("Distance", false).
+	Then("CRSDepTime", true).
+	Then("FlightNum", true)
+
+// Ops is the Figure 4 workload.
+var Ops = []Op{
+	{
+		Name: "O1", Desc: "Sort, numerical data", ColdEligible: true,
+		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
+			_, err := v.TableView(ctx, table.Asc("DepDelay"), []string{"Carrier", "Origin"}, pageK, nil, p)
+			return err
+		},
+		Spark: func(env *SparkEnv) error {
+			return env.topK(table.Asc("DepDelay"), []string{"Carrier", "Origin"}, pageK)
+		},
+	},
+	{
+		Name: "O2", Desc: "Sort 5 columns, numerical data", ColdEligible: true,
+		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
+			_, err := v.TableView(ctx, numericSort5, nil, pageK, nil, p)
+			return err
+		},
+		Spark: func(env *SparkEnv) error {
+			return env.topK(numericSort5, nil, pageK)
+		},
+	},
+	{
+		Name: "O3", Desc: "Sort, string data", ColdEligible: true,
+		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
+			_, err := v.TableView(ctx, table.Asc("Origin"), []string{"Dest", "Carrier"}, pageK, nil, p)
+			return err
+		},
+		Spark: func(env *SparkEnv) error {
+			return env.topK(table.Asc("Origin"), []string{"Dest", "Carrier"}, pageK)
+		},
+	},
+	{
+		Name: "O4", Desc: "Quantile + sort, 5 columns, numerical data",
+		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
+			_, err := v.Scroll(ctx, numericSort5, nil, pageK, 0.5, 100)
+			return err
+		},
+		Spark: func(env *SparkEnv) error {
+			return env.quantileTopK(numericSort5, 0.5, pageK)
+		},
+	},
+	{
+		Name: "O5", Desc: "Range + (histogram & cdf), numerical data", ColdEligible: true,
+		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
+			_, err := v.Histogram(ctx, "DepDelay", chartOpts(p, true))
+			return err
+		},
+		Spark: func(env *SparkEnv) error {
+			return env.histogramCDF("DepDelay", spreadsheet.DefaultBars, spreadsheet.DefaultWidth)
+		},
+	},
+	{
+		Name: "O6", Desc: "Filter + range + (histogram & cdf), numerical data",
+		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
+			f, err := v.FilterExpr("DepDelay > 0")
+			if err != nil {
+				return err
+			}
+			_, err = f.Histogram(ctx, "ArrDelay", chartOpts(p, true))
+			return err
+		},
+		Spark: func(env *SparkEnv) error {
+			return env.filteredHistogramCDF("DepDelay", "ArrDelay", spreadsheet.DefaultBars, spreadsheet.DefaultWidth)
+		},
+	},
+	{
+		Name: "O7", Desc: "Distinct + range + histogram, string data", ColdEligible: true,
+		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
+			_, err := v.Histogram(ctx, "Origin", chartOpts(p, false))
+			return err
+		},
+		Spark: func(env *SparkEnv) error {
+			return env.stringHistogram("Origin", spreadsheet.DefaultBars)
+		},
+	},
+	{
+		Name: "O8", Desc: "Heavy hitters sampling, string data", ColdEligible: true,
+		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
+			_, err := v.HeavyHitters(ctx, "Origin", 20, true)
+			return err
+		},
+		Spark: func(env *SparkEnv) error {
+			return env.sampledHeavyHitters("Origin", 20)
+		},
+	},
+	{
+		Name: "O9", Desc: "Distinct count, numerical data", ColdEligible: true,
+		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
+			_, err := v.DistinctCount(ctx, "FlightNum")
+			return err
+		},
+		Spark: func(env *SparkEnv) error {
+			return env.distinctCount("FlightNum")
+		},
+	},
+	{
+		Name: "O10", Desc: "Range + (stacked histogram & cdf), numerical data", ColdEligible: true,
+		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
+			if _, err := v.StackedHistogram(ctx, "DepDelay", "Carrier", false, chartOpts(p, false)); err != nil {
+				return err
+			}
+			_, err := v.Histogram(ctx, "DepDelay", chartOpts(nil, true))
+			return err
+		},
+		Spark: func(env *SparkEnv) error {
+			if err := env.stackedHistogram("DepDelay", "Carrier", spreadsheet.DefaultBars); err != nil {
+				return err
+			}
+			return env.histogramCDF("DepDelay", spreadsheet.DefaultBars, spreadsheet.DefaultWidth)
+		},
+	},
+	{
+		Name: "O11", Desc: "Heatmap, numerical data", ColdEligible: true,
+		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
+			_, err := v.Heatmap(ctx, "DepDelay", "ArrDelay", chartOpts(p, false))
+			return err
+		},
+		Spark: func(env *SparkEnv) error {
+			return env.heatmap("DepDelay", "ArrDelay",
+				spreadsheet.DefaultWidth/spreadsheet.HeatmapCell, 100/spreadsheet.HeatmapCell)
+		},
+	},
+}
+
+// OpByName finds an op.
+func OpByName(name string) (Op, error) {
+	for _, op := range Ops {
+		if op.Name == name {
+			return op, nil
+		}
+	}
+	return Op{}, fmt.Errorf("bench: unknown op %q", name)
+}

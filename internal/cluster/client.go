@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sketch"
+)
+
+// Client is the root's connection to one worker. Requests multiplex
+// over the single connection; a reader goroutine dispatches response
+// frames to the issuing request.
+type Client struct {
+	addr   string
+	conn   net.Conn
+	fc     *frameConn
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan *Envelope
+	closed  error
+}
+
+// Dial connects to a worker.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		addr:    addr,
+		conn:    conn,
+		fc:      newFrameConn(conn),
+		pending: make(map[uint64]chan *Envelope),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Addr returns the worker address.
+func (c *Client) Addr() string { return c.addr }
+
+// BytesReceived returns bytes this root has received from the worker —
+// the quantity plotted in Figure 5 (bottom).
+func (c *Client) BytesReceived() int64 { return c.fc.BytesIn() }
+
+// BytesSent returns bytes sent to the worker.
+func (c *Client) BytesSent() int64 { return c.fc.BytesOut() }
+
+// Close tears down the connection; in-flight requests fail.
+func (c *Client) Close() error {
+	c.fail(errors.New("cluster: client closed"))
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	for {
+		env, err := c.fc.recv()
+		if err != nil {
+			c.fail(fmt.Errorf("cluster: connection to %s lost: %w", c.addr, err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[env.ReqID]
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- env
+		}
+	}
+}
+
+// fail aborts all pending requests.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed == nil {
+		c.closed = err
+	}
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+}
+
+// call issues a request and invokes onFrame for every response frame
+// until onFrame returns done=true or the request fails.
+func (c *Client) call(ctx context.Context, env *Envelope, onFrame func(*Envelope) (done bool, err error)) error {
+	c.mu.Lock()
+	if c.closed != nil {
+		err := c.closed
+		c.mu.Unlock()
+		return err
+	}
+	id := c.nextID.Add(1)
+	env.ReqID = id
+	// Buffered so the reader never blocks on a slow request consumer for
+	// long: partials stream at the throttle rate, frames are small.
+	ch := make(chan *Envelope, 64)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}()
+
+	if err := c.fc.send(env); err != nil {
+		return err
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			// Out-of-band cancellation; the worker drops queued work.
+			_ = c.fc.send(&Envelope{ReqID: id, Kind: MsgCancel})
+			// Drain until the worker acknowledges with an error frame or
+			// the final result that raced with the cancel.
+			for {
+				select {
+				case resp, ok := <-ch:
+					if !ok {
+						return ctx.Err()
+					}
+					if resp.Kind == MsgError || resp.Kind == MsgFinal || resp.Kind == MsgOK {
+						return ctx.Err()
+					}
+				case <-time.After(5 * time.Second):
+					return ctx.Err()
+				}
+			}
+		case resp, ok := <-ch:
+			if !ok {
+				c.mu.Lock()
+				err := c.closed
+				c.mu.Unlock()
+				if err == nil {
+					err = errors.New("cluster: request aborted")
+				}
+				return err
+			}
+			if resp.Kind == MsgError {
+				if resp.ErrMissing {
+					return fmt.Errorf("%w: worker %s: %s", engine.ErrMissingDataset, c.addr, resp.Err)
+				}
+				return fmt.Errorf("cluster: worker %s: %s", c.addr, resp.Err)
+			}
+			done, err := onFrame(resp)
+			if err != nil || done {
+				return err
+			}
+		}
+	}
+}
+
+// Ping checks liveness.
+func (c *Client) Ping(ctx context.Context) error {
+	return c.call(ctx, &Envelope{Kind: MsgPing}, func(*Envelope) (bool, error) { return true, nil })
+}
+
+// Load asks the worker to (re)load a dataset from a source spec and
+// returns the number of leaf partitions created.
+func (c *Client) Load(ctx context.Context, datasetID, source string) (int, error) {
+	leaves := 0
+	err := c.call(ctx, &Envelope{Kind: MsgLoad, DatasetID: datasetID, Source: source}, func(e *Envelope) (bool, error) {
+		leaves = e.NumLeaves
+		return true, nil
+	})
+	return leaves, err
+}
+
+// MapOp derives a dataset on the worker.
+func (c *Client) MapOp(ctx context.Context, datasetID, newID string, op engine.MapOp) (int, error) {
+	leaves := 0
+	err := c.call(ctx, &Envelope{Kind: MsgMap, DatasetID: datasetID, NewID: newID, Op: op}, func(e *Envelope) (bool, error) {
+		leaves = e.NumLeaves
+		return true, nil
+	})
+	return leaves, err
+}
+
+// Drop evicts a worker-side dataset.
+func (c *Client) Drop(ctx context.Context, datasetID string) error {
+	return c.call(ctx, &Envelope{Kind: MsgDrop, DatasetID: datasetID}, func(*Envelope) (bool, error) { return true, nil })
+}
+
+// Sketch runs a sketch on the worker's dataset, forwarding streamed
+// partials and returning the final summary.
+func (c *Client) Sketch(ctx context.Context, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (sketch.Result, error) {
+	var final sketch.Result
+	err := c.call(ctx, &Envelope{Kind: MsgSketch, DatasetID: datasetID, Sketch: sk, NoPartials: onPartial == nil}, func(e *Envelope) (bool, error) {
+		switch e.Kind {
+		case MsgPartial:
+			if onPartial != nil {
+				onPartial(engine.Partial{Result: e.Result, Done: e.Done, Total: e.Total})
+			}
+			return false, nil
+		case MsgFinal:
+			final = e.Result
+			return true, nil
+		default:
+			return false, fmt.Errorf("cluster: unexpected frame kind %d", e.Kind)
+		}
+	})
+	return final, err
+}

@@ -1,0 +1,164 @@
+// Package cluster is the distribution substrate of Hillview (paper §5.2
+// and §6): worker servers hold dataset partitions and run vizketch
+// summarize functions; the root connects to workers over TCP and builds
+// execution trees whose remote edges carry only small messages —
+// queries down, summaries up.
+//
+// The paper uses gRPC with RxJava streams; under the stdlib-only
+// constraint this package implements the same contract with
+// length-prefixed gob frames over net.Conn: request multiplexing over
+// one connection per worker, server-streamed partial results,
+// out-of-band cancellation that bypasses request queues (paper §5.3),
+// and per-connection byte accounting (which the evaluation harness uses
+// to reproduce the bandwidth measurements of Figure 5).
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/sketch"
+)
+
+// MsgKind discriminates protocol messages.
+type MsgKind uint8
+
+const (
+	// MsgLoad asks the worker to load (or reload) a dataset from a
+	// storage source.
+	MsgLoad MsgKind = iota + 1
+	// MsgMap derives a new dataset from an existing one.
+	MsgMap
+	// MsgSketch runs a sketch, streaming MsgPartial frames and ending
+	// with MsgFinal.
+	MsgSketch
+	// MsgCancel aborts an in-flight request (high priority: handled by
+	// the connection reader, not queued behind work).
+	MsgCancel
+	// MsgDrop discards a worker-side dataset (soft-state eviction).
+	MsgDrop
+	// MsgPing checks liveness.
+	MsgPing
+	// MsgOK acknowledges Load/Map/Drop/Ping.
+	MsgOK
+	// MsgPartial carries one partial result of a running sketch.
+	MsgPartial
+	// MsgFinal carries the final result of a sketch.
+	MsgFinal
+	// MsgError reports request failure.
+	MsgError
+)
+
+// Envelope is the single frame type; fields are populated per Kind.
+// One struct keeps gob simple and the protocol easy to evolve.
+type Envelope struct {
+	ReqID uint64
+	Kind  MsgKind
+
+	// Requests.
+	DatasetID string
+	Source    string        // MsgLoad
+	NewID     string        // MsgMap
+	Op        engine.MapOp  // MsgMap (concrete types registered in engine)
+	Sketch    sketch.Sketch // MsgSketch (concrete types registered in sketch)
+	// NoPartials suppresses MsgPartial streaming for sketches whose
+	// caller only wants the final summary (preparation-phase sketches,
+	// scroll-bar quantiles): progressive updates exist for renderable
+	// results, and resending a cumulative summary nobody draws wastes
+	// exactly the bandwidth vizketches are designed to save.
+	NoPartials bool
+
+	// Responses.
+	Result     sketch.Result // MsgPartial, MsgFinal
+	Done       int           // MsgPartial, MsgFinal
+	Total      int           // MsgPartial, MsgFinal
+	NumLeaves  int           // MsgOK for Load/Map
+	Err        string        // MsgError
+	ErrMissing bool          // MsgError: dataset was soft-state and is gone
+}
+
+// frameConn frames gob-encoded envelopes with a uint32 length prefix
+// and counts bytes in each direction. Writers are serialized; there is
+// a single reader goroutine per connection. The gob encoder and decoder
+// persist for the connection's lifetime, so type descriptors travel
+// once per connection rather than once per message — the property a
+// schema-based RPC stack (the paper's gRPC) has, and the reason
+// Hillview's per-query bytes stay summary-sized.
+type frameConn struct {
+	rw      io.ReadWriter
+	in, out atomic.Int64
+
+	wmu    sync.Mutex
+	encBuf bytes.Buffer
+	enc    *gob.Encoder
+
+	decBuf bytes.Buffer
+	dec    *gob.Decoder
+}
+
+// maxFrameSize bounds a frame; summaries are small by construction
+// (paper §4.2), so anything near this limit indicates a bug, not data.
+const maxFrameSize = 1 << 28
+
+func newFrameConn(rw io.ReadWriter) *frameConn {
+	c := &frameConn{rw: rw}
+	c.enc = gob.NewEncoder(&c.encBuf)
+	c.dec = gob.NewDecoder(&c.decBuf)
+	return c
+}
+
+// send gob-encodes env as one length-prefixed frame.
+func (c *frameConn) send(env *Envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.encBuf.Reset()
+	if err := c.enc.Encode(env); err != nil {
+		return fmt.Errorf("cluster: encode: %w", err)
+	}
+	payload := c.encBuf.Bytes()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.rw.Write(payload); err != nil {
+		return err
+	}
+	c.out.Add(int64(len(payload)) + 4)
+	return nil
+}
+
+// recv reads one frame. Frames arrive in send order (sends are
+// serialized), so feeding each frame's payload to the persistent
+// decoder reconstructs the gob stream.
+func (c *frameConn) recv() (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
+	}
+	if _, err := io.CopyN(&c.decBuf, c.rw, int64(n)); err != nil {
+		return nil, err
+	}
+	c.in.Add(int64(n) + 4)
+	var env Envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("cluster: decode: %w", err)
+	}
+	return &env, nil
+}
+
+// BytesIn returns bytes received on this connection.
+func (c *frameConn) BytesIn() int64 { return c.in.Load() }
+
+// BytesOut returns bytes sent on this connection.
+func (c *frameConn) BytesOut() int64 { return c.out.Load() }

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sketch"
+)
+
+// RemoteDataSet is the root-side stub for a dataset living on a worker.
+// It implements engine.IDataSet, so remote datasets compose with local
+// ones under ParallelDataSet aggregation nodes — the execution tree of
+// Figure 1. Like every dataset reference, it is soft: the worker may
+// have lost the data, in which case calls return ErrMissingDataset and
+// the root replays.
+type RemoteDataSet struct {
+	client *Client
+	id     string
+	leaves int
+}
+
+// NewRemote wraps a worker-side dataset.
+func NewRemote(client *Client, id string, leaves int) *RemoteDataSet {
+	return &RemoteDataSet{client: client, id: id, leaves: leaves}
+}
+
+// ID implements engine.IDataSet.
+func (d *RemoteDataSet) ID() string { return d.id }
+
+// NumLeaves implements engine.IDataSet.
+func (d *RemoteDataSet) NumLeaves() int { return d.leaves }
+
+// Sketch implements engine.IDataSet.
+func (d *RemoteDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial engine.PartialFunc) (sketch.Result, error) {
+	return d.client.Sketch(ctx, d.id, sk, onPartial)
+}
+
+// Map implements engine.IDataSet.
+func (d *RemoteDataSet) Map(op engine.MapOp, newID string) (engine.IDataSet, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	leaves, err := d.client.MapOp(ctx, d.id, newID, op)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteDataSet{client: d.client, id: newID, leaves: leaves}, nil
+}
+
+// Cluster is the root's view of a set of workers.
+type Cluster struct {
+	clients []*Client
+	cfg     engine.Config
+}
+
+// Connect dials every worker address.
+func Connect(addrs []string, cfg engine.Config) (*Cluster, error) {
+	c := &Cluster{cfg: cfg}
+	for _, addr := range addrs {
+		cl, err := Dial(addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: connecting %s: %w", addr, err)
+		}
+		c.clients = append(c.clients, cl)
+	}
+	return c, nil
+}
+
+// Clients returns the per-worker clients.
+func (c *Cluster) Clients() []*Client { return c.clients }
+
+// Close disconnects from all workers.
+func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}
+
+// BytesReceived sums bytes the root has received from all workers.
+func (c *Cluster) BytesReceived() int64 {
+	var n int64
+	for _, cl := range c.clients {
+		n += cl.BytesReceived()
+	}
+	return n
+}
+
+// BytesSent sums bytes the root has sent to all workers.
+func (c *Cluster) BytesSent() int64 {
+	var n int64
+	for _, cl := range c.clients {
+		n += cl.BytesSent()
+	}
+	return n
+}
+
+// ExpandSource substitutes the {worker} placeholder in a source spec
+// with the worker index, so one redo-log record describes every
+// worker's shard (e.g. "dir:/data/shard-{worker}").
+func ExpandSource(source string, worker int) string {
+	return strings.ReplaceAll(source, "{worker}", strconv.Itoa(worker))
+}
+
+// Loader returns an engine.Loader that loads a source across every
+// worker (each worker gets the source with {worker} expanded) and
+// assembles the remote datasets under one aggregation node. Plugging
+// this loader into engine.NewRoot gives the full distributed root:
+// redo-logged loads, replay-on-miss, computation caching — over the
+// wire.
+func (c *Cluster) Loader() engine.Loader {
+	return func(id, source string) (engine.IDataSet, error) {
+		children := make([]engine.IDataSet, len(c.clients))
+		errs := make([]error, len(c.clients))
+		done := make(chan int, len(c.clients))
+		for i, cl := range c.clients {
+			go func(i int, cl *Client) {
+				defer func() { done <- i }()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+				defer cancel()
+				leaves, err := cl.Load(ctx, id, ExpandSource(source, i))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				children[i] = NewRemote(cl, id, leaves)
+			}(i, cl)
+		}
+		for range c.clients {
+			<-done
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return engine.NewParallel(id, children, c.cfg), nil
+	}
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Worker is a Hillview worker server: it owns a soft-state registry of
+// datasets (loaded from its local storage or derived by map operations)
+// and executes sketches over them, streaming partial results back.
+// Workers hold no persistent state — after a restart, the root's redo
+// log rebuilds everything (paper §5.8: "worker nodes are stateless, so
+// restarting the node after a failure is equivalent to deleting all
+// cached datasets").
+type Worker struct {
+	loader engine.Loader
+
+	mu       sync.Mutex
+	datasets map[string]engine.IDataSet
+	ln       net.Listener
+	logf     func(format string, args ...any)
+}
+
+// NewWorker builds a worker that loads data through loader.
+func NewWorker(loader engine.Loader) *Worker {
+	return &Worker{
+		loader:   loader,
+		datasets: make(map[string]engine.IDataSet),
+		logf:     func(string, ...any) {},
+	}
+}
+
+// SetLogf installs a diagnostic logger (e.g. log.Printf).
+func (w *Worker) SetLogf(f func(string, ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	w.logf = f
+}
+
+// DropAll discards all soft state, simulating a worker restart.
+func (w *Worker) DropAll() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.datasets = make(map[string]engine.IDataSet)
+}
+
+// NumDatasets returns the registry size (for tests).
+func (w *Worker) NumDatasets() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.datasets)
+}
+
+// Listen starts accepting on addr ("host:0" picks a free port) and
+// returns the bound address.
+func (w *Worker) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	w.mu.Lock()
+	w.ln = ln
+	w.mu.Unlock()
+	go w.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting connections.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	ln := w.ln
+	w.mu.Unlock()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+func (w *Worker) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				w.logf("cluster worker: accept: %v", err)
+			}
+			return
+		}
+		go w.serveConn(conn)
+	}
+}
+
+// serveConn handles one root connection: a reader loop dispatches each
+// request to its own goroutine; cancellation frames are handled inline
+// by the reader so they bypass any queued work (paper §5.3: "a high
+// priority cancellation message that bypasses the queuing mechanisms").
+func (w *Worker) serveConn(conn net.Conn) {
+	defer conn.Close()
+	fc := newFrameConn(conn)
+	var (
+		mu      sync.Mutex
+		cancels = make(map[uint64]context.CancelFunc)
+	)
+	for {
+		env, err := fc.recv()
+		if err != nil {
+			return // connection closed
+		}
+		if env.Kind == MsgCancel {
+			mu.Lock()
+			if cancel, ok := cancels[env.ReqID]; ok {
+				cancel()
+			}
+			mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		mu.Lock()
+		cancels[env.ReqID] = cancel
+		mu.Unlock()
+		go func(env *Envelope) {
+			defer func() {
+				mu.Lock()
+				delete(cancels, env.ReqID)
+				mu.Unlock()
+				cancel()
+			}()
+			w.handle(ctx, fc, env)
+		}(env)
+	}
+}
+
+func (w *Worker) handle(ctx context.Context, fc *frameConn, env *Envelope) {
+	reply := func(out *Envelope) {
+		out.ReqID = env.ReqID
+		if err := fc.send(out); err != nil {
+			w.logf("cluster worker: send: %v", err)
+		}
+	}
+	fail := func(err error) {
+		reply(&Envelope{
+			Kind:       MsgError,
+			Err:        err.Error(),
+			ErrMissing: errors.Is(err, engine.ErrMissingDataset),
+		})
+	}
+
+	switch env.Kind {
+	case MsgPing:
+		reply(&Envelope{Kind: MsgOK})
+
+	case MsgLoad:
+		ds, err := w.loader(env.DatasetID, env.Source)
+		if err != nil {
+			fail(err)
+			return
+		}
+		w.mu.Lock()
+		w.datasets[env.DatasetID] = ds // idempotent: replay overwrites
+		w.mu.Unlock()
+		reply(&Envelope{Kind: MsgOK, NumLeaves: ds.NumLeaves()})
+
+	case MsgMap:
+		parent, err := w.get(env.DatasetID)
+		if err != nil {
+			fail(err)
+			return
+		}
+		ds, err := parent.Map(env.Op, env.NewID)
+		if err != nil {
+			fail(err)
+			return
+		}
+		w.mu.Lock()
+		w.datasets[env.NewID] = ds
+		w.mu.Unlock()
+		reply(&Envelope{Kind: MsgOK, NumLeaves: ds.NumLeaves()})
+
+	case MsgSketch:
+		ds, err := w.get(env.DatasetID)
+		if err != nil {
+			fail(err)
+			return
+		}
+		var onPartial engine.PartialFunc
+		if !env.NoPartials {
+			onPartial = func(p engine.Partial) {
+				reply(&Envelope{Kind: MsgPartial, Result: p.Result, Done: p.Done, Total: p.Total})
+			}
+		}
+		res, err := ds.Sketch(ctx, env.Sketch, onPartial)
+		if err != nil {
+			fail(err)
+			return
+		}
+		reply(&Envelope{Kind: MsgFinal, Result: res, Done: ds.NumLeaves(), Total: ds.NumLeaves()})
+
+	case MsgDrop:
+		w.mu.Lock()
+		delete(w.datasets, env.DatasetID)
+		w.mu.Unlock()
+		reply(&Envelope{Kind: MsgOK})
+
+	default:
+		fail(fmt.Errorf("cluster: unknown request kind %d", env.Kind))
+	}
+}
+
+func (w *Worker) get(id string) (engine.IDataSet, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ds, ok := w.datasets[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on this worker", engine.ErrMissingDataset, id)
+	}
+	return ds, nil
+}

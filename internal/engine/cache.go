@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/sketch"
+)
+
+// Cache is the computation cache (paper §5.4): it stores results of
+// deterministic sketches, keyed by (dataset ID, sketch cache key).
+// Results are summaries, hence small, so "a large number of results can
+// be cached"; the cache is still bounded with LRU eviction as a safety
+// valve.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key string
+	res sketch.Result
+}
+
+// DefaultCacheSize bounds the computation cache entry count.
+const DefaultCacheSize = 4096
+
+// NewCache returns a cache bounded to max entries (0 means
+// DefaultCacheSize).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Key builds the cache key for a sketch on a dataset; ok is false when
+// the sketch is not cacheable (randomized or data-dependent sketches).
+func Key(datasetID string, sk sketch.Sketch) (string, bool) {
+	c, ok := sk.(sketch.Cacheable)
+	if !ok {
+		return "", false
+	}
+	return datasetID + "|" + c.CacheKey(), true
+}
+
+// Get returns the cached result for key, if any.
+func (c *Cache) Get(key string) (sketch.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a result, evicting the least-recently-used entry when full.
+func (c *Cache) Put(key string, res sketch.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for len(c.entries) > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// InvalidateDataset drops every entry belonging to a dataset (used when
+// a dataset is rebuilt by replay — results would still be valid for
+// deterministic sketches, but dropping is the conservative choice).
+func (c *Cache) InvalidateDataset(datasetID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prefix := datasetID + "|"
+	for key, el := range c.entries {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			c.order.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// LocalDataSet holds a dataset's micropartitions on this machine and
+// summarizes them with a bounded thread pool (paper §5.3: "to
+// parallelize execution within a server, each server runs multiple leaf
+// nodes: there is a thread pool that serves leafs with work to do").
+type LocalDataSet struct {
+	id    string
+	parts []*table.Table
+	cfg   Config
+}
+
+// NewLocal wraps partitions as a local dataset.
+func NewLocal(id string, parts []*table.Table, cfg Config) *LocalDataSet {
+	return &LocalDataSet{id: id, parts: parts, cfg: cfg}
+}
+
+// ID implements IDataSet.
+func (d *LocalDataSet) ID() string { return d.id }
+
+// NumLeaves implements IDataSet.
+func (d *LocalDataSet) NumLeaves() int { return len(d.parts) }
+
+// Partitions returns the underlying partition tables.
+func (d *LocalDataSet) Partitions() []*table.Table { return d.parts }
+
+// TotalRows returns the number of member rows across partitions.
+func (d *LocalDataSet) TotalRows() int64 {
+	var n int64
+	for _, p := range d.parts {
+		n += int64(p.NumRows())
+	}
+	return n
+}
+
+func (d *LocalDataSet) parallelism() int {
+	p := d.cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(d.parts) && len(d.parts) > 0 {
+		p = len(d.parts)
+	}
+	return p
+}
+
+// Sketch implements IDataSet. Partition summaries are merged as they
+// complete; partial results are emitted at most once per aggregation
+// window, and cancellation stops dispatch of not-yet-started partitions.
+func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial PartialFunc) (sketch.Result, error) {
+	total := len(d.parts)
+	acc := sk.Zero()
+	if total == 0 {
+		emit(onPartial, Partial{Result: acc, Done: 0, Total: 0})
+		return acc, nil
+	}
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	th := newThrottle(d.cfg.window())
+	sem := make(chan struct{}, d.parallelism())
+
+dispatch:
+	for i := range d.parts {
+		// Cancellation removes enqueued work (paper §5.3); running
+		// micropartitions finish.
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case sem <- struct{}{}:
+		}
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			<-sem
+			break dispatch
+		}
+		wg.Add(1)
+		go func(part *table.Table) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := sk.Summarize(part)
+			mu.Lock()
+			defer mu.Unlock()
+			if firstErr != nil {
+				return
+			}
+			if err != nil {
+				firstErr = err
+				return
+			}
+			merged, err := sk.Merge(acc, r)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			acc = merged
+			done++
+			if onPartial != nil && th.allow(done == total) {
+				onPartial(Partial{Result: acc, Done: done, Total: total})
+			}
+		}(d.parts[i])
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// Map implements IDataSet: partitions transform independently and in
+// parallel, with stable derived partition IDs so that replay rebuilds
+// identical state.
+func (d *LocalDataSet) Map(op MapOp, newID string) (IDataSet, error) {
+	out := make([]*table.Table, len(d.parts))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, d.parallelism())
+	for i := range d.parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t, err := op.Apply(d.parts[i], DerivePartID(newID, i))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			out[i] = t
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &LocalDataSet{id: newID, parts: out, cfg: d.cfg}, nil
+}
+
+func emit(f PartialFunc, p Partial) {
+	if f != nil {
+		f(p)
+	}
+}
+
+// throttle rate-limits partial emission to one per window; the final
+// update always passes (paper §5.3's 0.1 s batching).
+type throttle struct {
+	mu       sync.Mutex
+	last     time.Time
+	window   time.Duration
+	disabled bool
+}
+
+func newThrottle(window time.Duration) *throttle {
+	return &throttle{window: window, disabled: window < 0}
+}
+
+func (t *throttle) allow(final bool) bool {
+	if final {
+		return true
+	}
+	if t.disabled {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	if now.Sub(t.last) >= t.window {
+		t.last = now
+		return true
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"strconv"
+
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// MapOp derives one table partition from another. Implementations are
+// plain serializable data: the redo log stores them, and the cluster
+// layer ships them to workers. Apply must be deterministic — replaying
+// an op after a failure must rebuild the identical partition (§5.8).
+type MapOp interface {
+	// Apply transforms one partition. newPartID is the stable identity
+	// of the derived partition (deterministic in parent ID and op).
+	Apply(t *table.Table, newPartID string) (*table.Table, error)
+	// Describe renders the op for logs and diagnostics.
+	Describe() string
+}
+
+// DerivePartID gives the stable partition ID for partition i of a
+// derived dataset.
+func DerivePartID(datasetID string, i int) string {
+	return datasetID + "#" + strconv.Itoa(i)
+}
+
+// FilterOp keeps rows satisfying a predicate expression (§5.6
+// "Selection"). Rows where the predicate is missing are dropped.
+type FilterOp struct {
+	Predicate string
+}
+
+// Apply implements MapOp.
+func (op FilterOp) Apply(t *table.Table, newPartID string) (*table.Table, error) {
+	pred, err := expr.Predicate(op.Predicate, t)
+	if err != nil {
+		return nil, err
+	}
+	return t.Filter(newPartID, pred), nil
+}
+
+// Describe implements MapOp.
+func (op FilterOp) Describe() string { return fmt.Sprintf("filter(%s)", op.Predicate) }
+
+// DeriveOp appends a computed column (§5.6 "User-defined maps"). The
+// column is a lazy ComputedColumn: values are produced on access and
+// recomputed after eviction, never stored.
+type DeriveOp struct {
+	Col  string
+	Expr string
+}
+
+// Apply implements MapOp.
+func (op DeriveOp) Apply(t *table.Table, newPartID string) (*table.Table, error) {
+	col, err := expr.DeriveColumn(op.Expr, t)
+	if err != nil {
+		return nil, err
+	}
+	return t.WithColumn(newPartID, op.Col, col)
+}
+
+// Describe implements MapOp.
+func (op DeriveOp) Describe() string { return fmt.Sprintf("derive(%s=%s)", op.Col, op.Expr) }
+
+// ProjectOp restricts the schema to the named columns.
+type ProjectOp struct {
+	Cols []string
+}
+
+// Apply implements MapOp.
+func (op ProjectOp) Apply(t *table.Table, newPartID string) (*table.Table, error) {
+	return t.Project(newPartID, op.Cols)
+}
+
+// Describe implements MapOp.
+func (op ProjectOp) Describe() string { return fmt.Sprintf("project(%v)", op.Cols) }
+
+// FilterRangeOp keeps rows whose numeric column lies in [Min, Max] —
+// the zoom-into-chart operation (§5.6), expressed directly rather than
+// through the expression language so bucket boundaries transfer exactly.
+type FilterRangeOp struct {
+	Col      string
+	Min, Max float64
+}
+
+// Apply implements MapOp.
+func (op FilterRangeOp) Apply(t *table.Table, newPartID string) (*table.Table, error) {
+	col, err := t.Column(op.Col)
+	if err != nil {
+		return nil, err
+	}
+	if !col.Kind().Numeric() {
+		return nil, fmt.Errorf("engine: range filter over %v column %q", col.Kind(), op.Col)
+	}
+	return t.Filter(newPartID, func(row int) bool {
+		if col.Missing(row) {
+			return false
+		}
+		v := col.Double(row)
+		return v >= op.Min && v <= op.Max
+	}), nil
+}
+
+// Describe implements MapOp.
+func (op FilterRangeOp) Describe() string {
+	return fmt.Sprintf("filter-range(%s in [%g,%g])", op.Col, op.Min, op.Max)
+}
+
+func init() {
+	gob.Register(FilterOp{})
+	gob.Register(DeriveOp{})
+	gob.Register(ProjectOp{})
+	gob.Register(FilterRangeOp{})
+}

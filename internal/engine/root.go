@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sketch"
+)
+
+// ErrMissingDataset reports that a soft-state dataset is gone (evicted,
+// or its worker restarted). The root reacts by replaying the redo log
+// (paper §5.7: "when the root node attempts to access a remote object on
+// a leaf which no longer exists the leaf reports an error; the root node
+// then re-executes the query that produced the missing object").
+var ErrMissingDataset = errors.New("engine: dataset missing")
+
+// Op is one redo-log record: the description of an operation that
+// produced a dataset. The log is the only persistent state of the
+// system (paper §5.7); everything else is reconstructable soft state.
+type Op struct {
+	// Kind is "load" or "map".
+	Kind string
+	// ID is the produced dataset's identifier.
+	ID string
+	// Parent is the input dataset ("" for load).
+	Parent string
+	// Source is the storage-layer source spec (load only).
+	Source string
+	// Map is the derivation (map only).
+	Map MapOp
+	// Seed records the randomization seed of the operation, if any, so
+	// replay is deterministic (paper §5.8: "the log includes the seed
+	// used for randomization").
+	Seed uint64
+}
+
+// Loader resolves a load source spec into a dataset; the storage layer
+// provides it. It must be able to re-read the same snapshot at any time
+// (the storage contract of §2/§5.4).
+type Loader func(id, source string) (IDataSet, error)
+
+// Root is the tree root (paper Fig. 1): it owns the redo log, the
+// soft-state dataset registry, and the computation cache, and it
+// launches execution trees.
+type Root struct {
+	mu       sync.Mutex
+	loader   Loader
+	datasets map[string]IDataSet
+	log      []Op
+	byID     map[string]int // dataset ID -> index in log
+	cache    *Cache
+	replays  int64 // number of replay executions (for tests/metrics)
+}
+
+// NewRoot builds a root node with the given storage loader.
+func NewRoot(loader Loader) *Root {
+	return &Root{
+		loader:   loader,
+		datasets: make(map[string]IDataSet),
+		byID:     make(map[string]int),
+		cache:    NewCache(0),
+	}
+}
+
+// Cache exposes the computation cache (for stats and tests).
+func (r *Root) Cache() *Cache { return r.cache }
+
+// Replays returns how many redo-log replays have executed.
+func (r *Root) Replays() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.replays
+}
+
+// Log returns a copy of the redo log.
+func (r *Root) Log() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Op(nil), r.log...)
+}
+
+// Load reads a dataset from storage and logs the operation.
+func (r *Root) Load(id, source string) (IDataSet, error) {
+	r.mu.Lock()
+	if _, dup := r.byID[id]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("engine: dataset %q already defined", id)
+	}
+	r.mu.Unlock()
+
+	ds, err := r.loader(id, source)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.appendOp(Op{Kind: "load", ID: id, Source: source})
+	r.datasets[id] = ds
+	return ds, nil
+}
+
+// Apply derives a new dataset with a map operation and logs it.
+func (r *Root) Apply(parentID, newID string, op MapOp) (IDataSet, error) {
+	r.mu.Lock()
+	if _, dup := r.byID[newID]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("engine: dataset %q already defined", newID)
+	}
+	r.mu.Unlock()
+
+	parent, err := r.Get(parentID)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := parent.Map(op, newID)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.appendOp(Op{Kind: "map", ID: newID, Parent: parentID, Map: op})
+	r.datasets[newID] = ds
+	return ds, nil
+}
+
+// Filter derives a new dataset keeping rows that satisfy the predicate
+// expression.
+func (r *Root) Filter(parentID, newID, predicate string) (IDataSet, error) {
+	return r.Apply(parentID, newID, FilterOp{Predicate: predicate})
+}
+
+// Derive appends a computed column defined by an expression.
+func (r *Root) Derive(parentID, newID, col, expression string) (IDataSet, error) {
+	return r.Apply(parentID, newID, DeriveOp{Col: col, Expr: expression})
+}
+
+// appendOp records an op; callers hold r.mu.
+func (r *Root) appendOp(op Op) {
+	r.byID[op.ID] = len(r.log)
+	r.log = append(r.log, op)
+}
+
+// Get returns the named dataset, replaying the redo log to rebuild it
+// (and, recursively, its ancestors) if it is gone. Replay is lazy: only
+// the requested lineage is re-executed (paper §5.8: "replaying occurs
+// only when the user tries to access a dataset that no longer exists").
+func (r *Root) Get(id string) (IDataSet, error) {
+	r.mu.Lock()
+	if ds, ok := r.datasets[id]; ok {
+		r.mu.Unlock()
+		return ds, nil
+	}
+	idx, ok := r.byID[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q was never defined", ErrMissingDataset, id)
+	}
+	op := r.log[idx]
+	r.replays++
+	r.mu.Unlock()
+
+	var (
+		ds  IDataSet
+		err error
+	)
+	switch op.Kind {
+	case "load":
+		ds, err = r.loader(op.ID, op.Source)
+	case "map":
+		// The parent may exist as a stale root-side stub whose worker
+		// state is gone; when applying the op reports missing data, drop
+		// the stub and rebuild one lineage level deeper.
+		const maxReplayDepth = 1000
+		for attempt := 0; attempt < maxReplayDepth; attempt++ {
+			var parent IDataSet
+			parent, err = r.Get(op.Parent) // recursive replay
+			if err != nil {
+				break
+			}
+			ds, err = parent.Map(op.Map, op.ID)
+			if err == nil || !errors.Is(err, ErrMissingDataset) {
+				break
+			}
+			r.Drop(op.Parent)
+		}
+	default:
+		err = fmt.Errorf("engine: unknown op kind %q in redo log", op.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: replaying %q: %w", id, err)
+	}
+	r.mu.Lock()
+	r.datasets[id] = ds
+	r.mu.Unlock()
+	r.cache.InvalidateDataset(id)
+	return ds, nil
+}
+
+// Drop discards the in-memory dataset (but not its log record),
+// simulating cache eviction or a worker restart. Subsequent access
+// triggers replay.
+func (r *Root) Drop(id string) {
+	r.mu.Lock()
+	delete(r.datasets, id)
+	r.mu.Unlock()
+}
+
+// DropAll discards every in-memory dataset, simulating a full restart
+// where only the redo log survives (paper §5.8).
+func (r *Root) DropAll() {
+	r.mu.Lock()
+	r.datasets = make(map[string]IDataSet)
+	r.mu.Unlock()
+}
+
+// RunSketch executes a sketch over a dataset with computation caching
+// and missing-dataset recovery. Partial results stream to onPartial.
+func (r *Root) RunSketch(ctx context.Context, datasetID string, sk sketch.Sketch, onPartial PartialFunc) (sketch.Result, error) {
+	key, cacheable := Key(datasetID, sk)
+	if cacheable {
+		if res, ok := r.cache.Get(key); ok {
+			emit(onPartial, Partial{Result: res, Done: 1, Total: 1})
+			return res, nil
+		}
+	}
+	ds, err := r.Get(datasetID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ds.Sketch(ctx, sk, onPartial)
+	if errors.Is(err, ErrMissingDataset) {
+		// A worker lost its soft state mid-query: rebuild and retry once.
+		r.Drop(datasetID)
+		ds, err = r.Get(datasetID)
+		if err != nil {
+			return nil, err
+		}
+		res, err = ds.Sketch(ctx, sk, onPartial)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		r.cache.Put(key, res)
+	}
+	return res, nil
+}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+var errReplayMismatch = errors.New("replayed result differs")
+
+// TestConcurrentQueriesAndDrops hammers a root with concurrent sketch
+// executions while another goroutine keeps evicting the dataset: every
+// query must succeed (through replay) and return the identical result.
+func TestConcurrentQueriesAndDrops(t *testing.T) {
+	l := &testLoader{}
+	root := NewRoot(l.load)
+	if _, err := root.Load("base", "gen"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Filter("base", "f", "x < 80"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := root.RunSketch(context.Background(), "f", histSketch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				root.Drop("f")
+				root.Drop("base")
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				// A non-cacheable sketch forces dataset access on every
+				// run (cached summaries would mask the evictions).
+				sk := &sketch.QuantileSketch{Order: table.Asc("x"), SampleSize: 32, Seed: 1}
+				if _, err := root.RunSketch(context.Background(), "f", sk, nil); err != nil {
+					errs[i] = err
+					return
+				}
+				hist, err := root.RunSketch(context.Background(), "f", histSketch(), nil)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !reflect.DeepEqual(hist, want) {
+					errs[i] = errReplayMismatch
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent query failed: %v", err)
+		}
+	}
+	if root.Replays() == 0 {
+		t.Error("expected replays under concurrent eviction")
+	}
+}
+
+// TestCancelParallelTree cancels a query running over an aggregation
+// tree and verifies both children observe the cancellation.
+func TestCancelParallelTree(t *testing.T) {
+	parts := genParts("cp", 32, 50000, 11)
+	l1 := NewLocal("l1", parts[:16], Config{Parallelism: 1, AggregationWindow: time.Nanosecond})
+	l2 := NewLocal("l2", parts[16:], Config{Parallelism: 1, AggregationWindow: time.Nanosecond})
+	tree := NewParallel("tree", []IDataSet{l1, l2}, Config{AggregationWindow: time.Nanosecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := tree.Sketch(ctx, histSketch(), func(p Partial) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+	})
+	if err == nil {
+		t.Fatal("cancelled tree returned no error")
+	}
+}
+
+// TestMapErrorInParallelTree verifies error propagation from any child.
+func TestMapErrorInParallelTree(t *testing.T) {
+	parts := genParts("me", 4, 100, 12)
+	l1 := NewLocal("l1", parts[:2], Config{AggregationWindow: -1})
+	l2 := NewLocal("l2", parts[2:], Config{AggregationWindow: -1})
+	tree := NewParallel("t", []IDataSet{l1, l2}, Config{AggregationWindow: -1})
+	if _, err := tree.Map(FilterOp{Predicate: "bogus("}, "bad"); err == nil {
+		t.Fatal("map error swallowed by tree")
+	}
+	derived, err := tree.Map(DeriveOp{Col: "x2", Expr: "x * 3"}, "ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.NumLeaves() != 4 {
+		t.Errorf("leaves = %d", derived.NumLeaves())
+	}
+	res, err := derived.Sketch(context.Background(), &sketch.RangeSketch{Col: "x2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(*sketch.DataRange).Max <= 0 {
+		t.Error("derived column empty through tree map")
+	}
+}
+
+// TestDeterministicReplayOfSampledSketch pins the §5.8 requirement:
+// a randomized vizketch with a recorded seed reproduces bit-identical
+// results after the dataset is rebuilt by replay.
+func TestDeterministicReplayOfSampledSketch(t *testing.T) {
+	l := &testLoader{}
+	root := NewRoot(l.load)
+	if _, err := root.Load("base", "gen"); err != nil {
+		t.Fatal(err)
+	}
+	sk := &sketch.SampledHistogramSketch{
+		Col:     "x",
+		Buckets: sketch.NumericBuckets(table.KindDouble, 0, 100, 16),
+		Rate:    0.2,
+		Seed:    12345, // logged seed
+	}
+	want, err := root.RunSketch(context.Background(), "base", sk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.DropAll()
+	got, err := root.RunSketch(context.Background(), "base", sk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("sampled sketch not reproducible after replay — fault tolerance broken")
+	}
+}
+
+// TestThrottleConcurrency checks the throttle under concurrent callers.
+func TestThrottleConcurrency(t *testing.T) {
+	th := newThrottle(time.Hour)
+	var passed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if th.allow(false) {
+				mu.Lock()
+				passed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if passed != 1 {
+		t.Errorf("throttle let %d through one window", passed)
+	}
+	if !th.allow(true) {
+		t.Error("final must always pass")
+	}
+}

@@ -1,0 +1,219 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse compiles expression source into an AST. The grammar, loosest to
+// tightest binding:
+//
+//	expr  := or
+//	or    := and  ("||" and)*
+//	and   := cmp  ("&&" cmp)*
+//	cmp   := add  (("=="|"!="|"<"|"<="|">"|">=") add)?
+//	add   := mul  (("+"|"-") mul)*
+//	mul   := unary (("*"|"/"|"%") unary)*
+//	unary := ("-"|"!") unary | primary
+//	primary := number | string | ident | ident "(" args ")" | "(" expr ")"
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected %q at %d", p.peek().text, p.peek().pos)
+	}
+	return n, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptOp(ops ...string) (string, bool) {
+	t := p.peek()
+	if t.kind != tokOp {
+		return "", false
+	}
+	for _, op := range ops {
+		if t.text == op {
+			p.next()
+			return op, true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.acceptOp("||"); !ok {
+			return l, nil
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryNode{Op: "||", L: l, R: r}
+	}
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.acceptOp("&&"); !ok {
+			return l, nil
+		}
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryNode{Op: "&&", L: l, R: r}
+	}
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	op, ok := p.acceptOp("==", "!=", "<=", ">=", "<", ">")
+	if !ok {
+		return l, nil
+	}
+	r, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryNode{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.acceptOp("+", "-")
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryNode{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.acceptOp("*", "/", "%")
+		if !ok {
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryNode{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if op, ok := p.acceptOp("-", "!"); ok {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryNode{Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return &NumberNode{IsInt: true, I: i, F: float64(i), Text: t.text}, nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q at %d", t.text, t.pos)
+		}
+		return &NumberNode{F: f, Text: t.text}, nil
+	case tokString:
+		return &StringNode{S: t.text}, nil
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			p.next() // (
+			var args []Node
+			if p.peek().kind != tokRParen {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind == tokComma {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if p.peek().kind != tokRParen {
+				return nil, fmt.Errorf("expr: expected ) at %d", p.peek().pos)
+			}
+			p.next()
+			if _, ok := builtins[t.text]; !ok {
+				return nil, fmt.Errorf("expr: unknown function %q at %d", t.text, t.pos)
+			}
+			if err := checkArity(t.text, len(args)); err != nil {
+				return nil, err
+			}
+			return &CallNode{Func: t.text, Args: args}, nil
+		}
+		return &ColumnNode{Name: t.text}, nil
+	case tokLParen:
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("expr: expected ) at %d", p.peek().pos)
+		}
+		p.next()
+		return n, nil
+	default:
+		return nil, fmt.Errorf("expr: unexpected %q at %d", t.text, t.pos)
+	}
+}

@@ -1,0 +1,376 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestRangeSketch(t *testing.T) {
+	tbl := genTable("r", 5000, 61)
+	res, err := (&RangeSketch{Col: "x"}).Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(*DataRange)
+	if r.Total() != 5000 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	if r.Min < 0 || r.Max >= 100 || r.Min >= r.Max {
+		t.Errorf("range [%g, %g] implausible", r.Min, r.Max)
+	}
+	if r.Missing == 0 {
+		t.Error("expected some missing values")
+	}
+	checkExactMergeability(t, &RangeSketch{Col: "x"}, tbl, 6)
+
+	// String ranges.
+	res, err = (&RangeSketch{Col: "cat"}).Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.(*DataRange)
+	if sr.MinS != "alpha" || sr.MaxS != "zeta" {
+		t.Errorf("string range [%q, %q]", sr.MinS, sr.MaxS)
+	}
+	checkExactMergeability(t, &RangeSketch{Col: "cat"}, tbl, 6)
+}
+
+func TestRangeMergeIdentity(t *testing.T) {
+	sk := &RangeSketch{Col: "x"}
+	tbl := genTable("ri", 100, 62)
+	r, err := sk.Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero on either side is identity.
+	m1, err := sk.Merge(sk.Zero(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := sk.Merge(r, sk.Zero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, d1, d2 := r.(*DataRange), m1.(*DataRange), m2.(*DataRange)
+	if *d1 != *dr || *d2 != *dr {
+		t.Errorf("Zero is not identity: %+v vs %+v / %+v", dr, d1, d2)
+	}
+}
+
+func TestMomentsSketch(t *testing.T) {
+	// Known data: 1..1000, mean 500.5, variance (n²-1)/12.
+	schema := table.NewSchema(table.ColumnDesc{Name: "v", Kind: table.KindInt})
+	b := table.NewBuilder(schema, 1000)
+	for i := 1; i <= 1000; i++ {
+		b.AppendRow(table.Row{table.IntValue(int64(i))})
+	}
+	tbl := b.Freeze("mom")
+	res, err := (&MomentsSketch{Col: "v", K: 4}).Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.(*Moments)
+	if m.Count != 1000 || m.Min != 1 || m.Max != 1000 {
+		t.Fatalf("basic stats wrong: %+v", m)
+	}
+	if math.Abs(m.Mean()-500.5) > 1e-9 {
+		t.Errorf("mean = %v", m.Mean())
+	}
+	wantVar := (1000.0*1000.0 - 1) / 12
+	if math.Abs(m.Variance()-wantVar)/wantVar > 1e-9 {
+		t.Errorf("variance = %v, want %v", m.Variance(), wantVar)
+	}
+	// Mergeability with floating-point tolerance.
+	parts := summarizeParts(t, &MomentsSketch{Col: "v", K: 4}, splitTable(tbl, 4))
+	merged, err := MergeAll(&MomentsSketch{Col: "v", K: 4}, parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := merged.(*Moments)
+	if mm.Count != m.Count || mm.Min != m.Min || mm.Max != m.Max {
+		t.Errorf("merged counts differ: %+v", mm)
+	}
+	if math.Abs(mm.Mean()-m.Mean()) > 1e-6 {
+		t.Errorf("merged mean differs: %v vs %v", mm.Mean(), m.Mean())
+	}
+	// Errors.
+	tbl2 := genTable("mo2", 10, 63)
+	if _, err := (&MomentsSketch{Col: "cat"}).Summarize(tbl2); err == nil {
+		t.Error("moments over string column should error")
+	}
+	var empty Moments
+	if !math.IsNaN(empty.Mean()) || !math.IsNaN(empty.Variance()) {
+		t.Error("empty moments should be NaN")
+	}
+}
+
+func TestHyperLogLogAccuracy(t *testing.T) {
+	for _, cardinality := range []int{100, 5000, 200000} {
+		schema := table.NewSchema(table.ColumnDesc{Name: "v", Kind: table.KindInt})
+		n := cardinality * 3 // duplicates must not matter
+		b := table.NewBuilder(schema, n)
+		for i := 0; i < n; i++ {
+			b.AppendRow(table.Row{table.IntValue(int64(i % cardinality))})
+		}
+		tbl := b.Freeze("hll")
+		res, err := (&DistinctCountSketch{Col: "v"}).Summarize(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.(*HLL).Estimate()
+		relErr := math.Abs(got-float64(cardinality)) / float64(cardinality)
+		if relErr > 0.05 { // 1.04/sqrt(4096) ≈ 1.6%; allow 3σ
+			t.Errorf("cardinality %d: estimate %.0f (rel err %.3f)", cardinality, got, relErr)
+		}
+	}
+}
+
+func TestHyperLogLogMergeability(t *testing.T) {
+	// HLL is fully partition-insensitive: registers depend only on the
+	// value set.
+	tbl := genTable("hllm", 20000, 64)
+	sk := &DistinctCountSketch{Col: "cat"}
+	checkExactMergeability(t, sk, tbl, 8)
+	// 8 distinct categories, exactly.
+	res, _ := sk.Summarize(tbl)
+	est := res.(*HLL).Estimate()
+	if est < 7 || est > 9 {
+		t.Errorf("distinct categories estimate = %v, want ≈8", est)
+	}
+}
+
+func TestHyperLogLogStrings(t *testing.T) {
+	// String column with known distinct count, exercising the dictionary
+	// fast path under a filtered membership.
+	schema := table.NewSchema(table.ColumnDesc{Name: "s", Kind: table.KindString})
+	b := table.NewBuilder(schema, 1000)
+	for i := 0; i < 1000; i++ {
+		b.AppendRow(table.Row{table.StringValue(string(rune('a' + i%20)))})
+	}
+	tbl := b.Freeze("hlls")
+	// Filter to every third row: gcd(3,20)=1, so all 20 values survive.
+	filtered := tbl.Filter("hlls-f", func(i int) bool { return i%3 == 0 })
+	res, err := (&DistinctCountSketch{Col: "s"}).Summarize(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := res.(*HLL).Estimate(); math.Abs(est-20) > 2 {
+		t.Errorf("filtered distinct estimate = %v, want ≈20", est)
+	}
+	// Filter to rows holding only 5 values.
+	col := tbl.MustColumn("s").(*table.StringColumn)
+	f5 := tbl.Filter("hlls-5", func(i int) bool { return col.Str(i) < "f" })
+	res, err = (&DistinctCountSketch{Col: "s"}).Summarize(f5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := res.(*HLL).Estimate(); math.Abs(est-5) > 1 {
+		t.Errorf("5-value distinct estimate = %v", est)
+	}
+}
+
+func TestBottomKExactSmallCardinality(t *testing.T) {
+	tbl := genTable("bk", 3000, 65)
+	sk := &DistinctBottomKSketch{Col: "cat", K: 100}
+	res, err := sk.Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := res.(*BottomKSet)
+	if !set.AllValues {
+		t.Fatal("8 distinct values with K=100 should be exact")
+	}
+	if len(set.Values) != 8 {
+		t.Fatalf("got %d values, want 8", len(set.Values))
+	}
+	buckets := set.Buckets(50)
+	if !buckets.ExactValues || buckets.Count != 8 {
+		t.Errorf("buckets = %+v", buckets)
+	}
+	checkExactMergeability(t, sk, tbl, 5)
+}
+
+func TestBottomKLargeCardinality(t *testing.T) {
+	schema := table.NewSchema(table.ColumnDesc{Name: "s", Kind: table.KindString})
+	const n = 20000
+	b := table.NewBuilder(schema, n)
+	for i := 0; i < n; i++ {
+		b.AppendRow(table.Row{table.StringValue(string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)))})
+	}
+	tbl := b.Freeze("bigbk")
+	sk := &DistinctBottomKSketch{Col: "s", K: 500}
+	res, err := sk.Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := res.(*BottomKSet)
+	if set.AllValues {
+		t.Fatal("large cardinality should overflow K")
+	}
+	if len(set.Values) != 500 {
+		t.Fatalf("sample size = %d", len(set.Values))
+	}
+	buckets := set.Buckets(50)
+	if buckets.ExactValues || buckets.Count > 50 || buckets.Count < 40 {
+		t.Errorf("buckets = %d exact=%t", buckets.Count, buckets.ExactValues)
+	}
+	// Boundaries must be sorted.
+	for i := 1; i < len(buckets.Bounds); i++ {
+		if buckets.Bounds[i] <= buckets.Bounds[i-1] {
+			t.Fatal("bucket bounds not strictly sorted")
+		}
+	}
+	checkExactMergeability(t, sk, tbl, 6)
+}
+
+func TestPCASketch(t *testing.T) {
+	// Two correlated columns plus one independent: x2 = 2*x1 + noise.
+	schema := table.NewSchema(
+		table.ColumnDesc{Name: "a", Kind: table.KindDouble},
+		table.ColumnDesc{Name: "b", Kind: table.KindDouble},
+		table.ColumnDesc{Name: "c", Kind: table.KindDouble},
+	)
+	rng := rand.New(rand.NewPCG(66, 67))
+	const n = 20000
+	b := table.NewBuilder(schema, n)
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		b.AppendRow(table.Row{
+			table.DoubleValue(x),
+			table.DoubleValue(2*x + 0.01*rng.NormFloat64()),
+			table.DoubleValue(rng.NormFloat64()),
+		})
+	}
+	tbl := b.Freeze("pca")
+	sk := &PCASketch{Cols: []string{"a", "b", "c"}, Rate: 1}
+	res, err := sk.Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := res.(*CoMoments)
+	corr := cm.Correlation()
+	if math.Abs(corr[0][1]-1) > 0.01 {
+		t.Errorf("corr(a,b) = %v, want ≈1", corr[0][1])
+	}
+	if math.Abs(corr[0][2]) > 0.05 {
+		t.Errorf("corr(a,c) = %v, want ≈0", corr[0][2])
+	}
+	vals, vecs := cm.PCA(3)
+	// First component captures the correlated pair: eigenvalue ≈ 2.
+	if math.Abs(vals[0]-2) > 0.1 {
+		t.Errorf("top eigenvalue = %v, want ≈2", vals[0])
+	}
+	// Its loading on c should be near zero.
+	if math.Abs(vecs[0][2]) > 0.1 {
+		t.Errorf("top component loads on independent column: %v", vecs[0])
+	}
+	// Mergeability (tolerance; float sums).
+	parts := summarizeParts(t, sk, splitTable(tbl, 4))
+	merged, err := MergeAll(sk, parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := merged.(*CoMoments)
+	if mc.N != cm.N {
+		t.Errorf("merged N = %d, want %d", mc.N, cm.N)
+	}
+	mcorr := mc.Correlation()
+	for i := range corr {
+		for j := range corr[i] {
+			if math.Abs(mcorr[i][j]-corr[i][j]) > 1e-6 {
+				t.Errorf("merged corr[%d][%d] differs", i, j)
+			}
+		}
+	}
+	// Sampled variant still close.
+	sampled := &PCASketch{Cols: []string{"a", "b", "c"}, Rate: 0.1, Seed: 3}
+	res, err = sampled.Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorr := res.(*CoMoments).Correlation()
+	if math.Abs(scorr[0][1]-1) > 0.05 {
+		t.Errorf("sampled corr(a,b) = %v", scorr[0][1])
+	}
+	// Errors.
+	tbl2 := genTable("pcae", 10, 68)
+	if _, err := (&PCASketch{Cols: []string{"cat"}, Rate: 1}).Summarize(tbl2); err == nil {
+		t.Error("PCA over string column should error")
+	}
+}
+
+func TestJacobiEigenKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+	vals, vecs := JacobiEigen([][]float64{{2, 1}, {1, 2}})
+	if math.Abs(vals[0]-3) > 1e-9 || math.Abs(vals[1]-1) > 1e-9 {
+		t.Fatalf("eigenvalues = %v", vals)
+	}
+	v := vecs[0]
+	if math.Abs(math.Abs(v[0])-math.Sqrt2/2) > 1e-6 || math.Abs(v[0]-v[1]) > 1e-6 {
+		t.Errorf("top eigenvector = %v", v)
+	}
+	// Identity matrix: all eigenvalues 1.
+	vals, _ = JacobiEigen([][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+	for _, v := range vals {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("identity eigenvalues = %v", vals)
+		}
+	}
+}
+
+// TestGobRoundTrip ensures every summary type survives the wire format,
+// including the map-keyed HeavyHitters summary.
+func TestGobRoundTrip(t *testing.T) {
+	tbl := genTable("gob", 500, 69)
+	sketches := []Sketch{
+		&HistogramSketch{Col: "x", Buckets: NumericBuckets(table.KindDouble, 0, 100, 5)},
+		&Histogram2DSketch{XCol: "x", YCol: "cat", X: NumericBuckets(table.KindDouble, 0, 100, 4), Y: StringBucketsFromDistinct([]string{"alpha", "beta"}, 4), Rate: 1},
+		&TrellisSketch{GroupCol: "cat", XCol: "x", YCol: "cat", Group: StringBucketsFromDistinct([]string{"alpha", "beta"}, 4), X: NumericBuckets(table.KindDouble, 0, 100, 3), Y: StringBucketsFromDistinct([]string{"alpha"}, 4), Rate: 1},
+		&NextKSketch{Order: table.Asc("x"), Extra: []string{"cat"}, K: 5},
+		&FindTextSketch{Col: "cat", Pattern: "alpha", Kind: MatchExact, Order: table.Asc("id")},
+		&QuantileSketch{Order: table.Asc("x"), SampleSize: 20, Seed: 1},
+		&MisraGriesSketch{Col: "cat", K: 4},
+		&SampleHeavyHittersSketch{Col: "cat", K: 4, Rate: 0.5, Seed: 2},
+		&RangeSketch{Col: "x"},
+		&MomentsSketch{Col: "x", K: 2},
+		&DistinctCountSketch{Col: "cat"},
+		&DistinctBottomKSketch{Col: "cat", K: 10},
+		&PCASketch{Cols: []string{"x"}, Rate: 1},
+	}
+	for _, sk := range sketches {
+		res, err := sk.Summarize(tbl)
+		if err != nil {
+			t.Fatalf("%s: %v", sk.Name(), err)
+		}
+		// Sketch itself round-trips (as interface value).
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&sk); err != nil {
+			t.Fatalf("%s: encode sketch: %v", sk.Name(), err)
+		}
+		var sk2 Sketch
+		if err := gob.NewDecoder(&buf).Decode(&sk2); err != nil {
+			t.Fatalf("%s: decode sketch: %v", sk.Name(), err)
+		}
+		if sk2.Name() != sk.Name() {
+			t.Errorf("sketch name changed over wire: %q vs %q", sk2.Name(), sk.Name())
+		}
+		// Summary round-trips (as interface value).
+		buf.Reset()
+		if err := gob.NewEncoder(&buf).Encode(&res); err != nil {
+			t.Fatalf("%s: encode result: %v", sk.Name(), err)
+		}
+		var res2 Result
+		if err := gob.NewDecoder(&buf).Decode(&res2); err != nil {
+			t.Fatalf("%s: decode result: %v", sk.Name(), err)
+		}
+		// Round-tripped result must still merge with the original.
+		if _, err := sk.Merge(res, res2); err != nil {
+			t.Errorf("%s: merge after round trip: %v", sk.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// BucketSpec describes histogram bucket geometry for one axis. It covers
+// both numeric bucketing (equi-width intervals over [Min, Max]) and
+// string bucketing (lexicographic ranges with explicit left boundaries,
+// paper App. B.1 "equi-width buckets for string data"). One concrete
+// type keeps summaries gob-serializable.
+type BucketSpec struct {
+	// Kind selects the bucketing mode: any numeric kind uses Min/Max,
+	// KindString uses Bounds.
+	Kind table.Kind
+	// Min and Max bound numeric buckets; the range [Min, Max] is divided
+	// into Count equi-sized intervals, with Max landing in the last.
+	Min, Max float64
+	// Bounds are left boundaries of string buckets, sorted ascending;
+	// bucket i covers [Bounds[i], Bounds[i+1]) and the last bucket is
+	// unbounded above. When ExactValues is true each bucket holds exactly
+	// one distinct value.
+	Bounds []string
+	// ExactValues marks string bucketing where every distinct value got
+	// its own bucket (≤ maxStringBuckets distinct values).
+	ExactValues bool
+	// Count is the number of buckets.
+	Count int
+}
+
+// NumericBuckets returns equi-width numeric bucket geometry.
+func NumericBuckets(kind table.Kind, min, max float64, count int) BucketSpec {
+	if count < 1 {
+		count = 1
+	}
+	return BucketSpec{Kind: kind, Min: min, Max: max, Count: count}
+}
+
+// StringBucketsFromBounds returns string bucket geometry with the given
+// sorted left boundaries.
+func StringBucketsFromBounds(bounds []string, exact bool) BucketSpec {
+	return BucketSpec{Kind: table.KindString, Bounds: bounds, ExactValues: exact, Count: len(bounds)}
+}
+
+// NumBuckets returns the bucket count.
+func (s BucketSpec) NumBuckets() int { return s.Count }
+
+// IndexValue maps a numeric value to its bucket, or -1 when outside the
+// range. Max maps into the last bucket so data-derived ranges lose no
+// rows.
+func (s BucketSpec) IndexValue(v float64) int {
+	if s.Count <= 0 || v < s.Min || v > s.Max {
+		return -1
+	}
+	if s.Max == s.Min {
+		return 0
+	}
+	i := int(float64(s.Count) * (v - s.Min) / (s.Max - s.Min))
+	if i >= s.Count {
+		i = s.Count - 1
+	}
+	return i
+}
+
+// IndexString maps a string to its bucket, or -1 when it sorts before
+// the first boundary (or, for exact-value buckets, is not a boundary).
+func (s BucketSpec) IndexString(v string) int {
+	n := len(s.Bounds)
+	if n == 0 {
+		return -1
+	}
+	// Last boundary ≤ v.
+	i := sort.SearchStrings(s.Bounds, v)
+	if i < n && s.Bounds[i] == v {
+		return i
+	}
+	i--
+	if i < 0 {
+		return -1
+	}
+	if s.ExactValues {
+		return -1 // v is between two exact values: not a member
+	}
+	return i
+}
+
+// Indexer returns a row-to-bucket function bound to a column, choosing
+// the numeric or string path once per partition rather than per row.
+// Missing rows map to -2; out-of-range rows to -1.
+func (s BucketSpec) Indexer(col table.Column) (func(row int) int, error) {
+	switch {
+	case s.Kind.Numeric():
+		if !col.Kind().Numeric() {
+			return nil, fmt.Errorf("sketch: numeric buckets over %v column", col.Kind())
+		}
+		return func(row int) int {
+			if col.Missing(row) {
+				return -2
+			}
+			return s.IndexValue(col.Double(row))
+		}, nil
+	case s.Kind == table.KindString:
+		sc, ok := col.(*table.StringColumn)
+		if !ok {
+			// Computed string columns take the generic path.
+			return func(row int) int {
+				if col.Missing(row) {
+					return -2
+				}
+				return s.IndexString(col.Str(row))
+			}, nil
+		}
+		// Dictionary fast path: precompute code -> bucket.
+		dict := sc.Dict()
+		codeBucket := make([]int32, len(dict))
+		for c, v := range dict {
+			codeBucket[c] = int32(s.IndexString(v))
+		}
+		return func(row int) int {
+			if sc.Missing(row) {
+				return -2
+			}
+			return int(codeBucket[sc.Code(row)])
+		}, nil
+	default:
+		return nil, fmt.Errorf("sketch: bucket spec kind %v unsupported", s.Kind)
+	}
+}
+
+// LabelOf renders the label of bucket i for axes and legends.
+func (s BucketSpec) LabelOf(i int) string {
+	if s.Kind == table.KindString {
+		if i < 0 || i >= len(s.Bounds) {
+			return ""
+		}
+		if s.ExactValues {
+			return s.Bounds[i]
+		}
+		if i+1 < len(s.Bounds) {
+			return fmt.Sprintf("[%s, %s)", s.Bounds[i], s.Bounds[i+1])
+		}
+		return fmt.Sprintf("[%s, …)", s.Bounds[i])
+	}
+	w := (s.Max - s.Min) / float64(s.Count)
+	return fmt.Sprintf("[%.4g, %.4g)", s.Min+float64(i)*w, s.Min+float64(i+1)*w)
+}
+
+// String renders the geometry for sketch names and cache keys.
+func (s BucketSpec) String() string {
+	if s.Kind == table.KindString {
+		return fmt.Sprintf("str[%d:%s]", s.Count, strings.Join(s.Bounds, "|"))
+	}
+	return fmt.Sprintf("num[%d:%g,%g]", s.Count, s.Min, s.Max)
+}
+
+// maxStringBuckets caps string histogram bars (paper App. B.1: "the
+// number of bars is limited to 50").
+const maxStringBuckets = 50
+
+// StringBucketsFromDistinct builds string bucket geometry from the full
+// sorted list of distinct values: one bucket per value when they fit,
+// otherwise maxBuckets quantile boundaries over the distinct values.
+func StringBucketsFromDistinct(distinct []string, maxBuckets int) BucketSpec {
+	if maxBuckets <= 0 || maxBuckets > maxStringBuckets {
+		maxBuckets = maxStringBuckets
+	}
+	if len(distinct) <= maxBuckets {
+		return StringBucketsFromBounds(distinct, true)
+	}
+	bounds := make([]string, maxBuckets)
+	for i := 0; i < maxBuckets; i++ {
+		bounds[i] = distinct[i*len(distinct)/maxBuckets]
+	}
+	return StringBucketsFromBounds(dedupSorted(bounds), false)
+}
+
+func dedupSorted(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

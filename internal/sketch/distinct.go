@@ -1,0 +1,148 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/table"
+)
+
+// HLL is a HyperLogLog summary (Flajolet et al.), the approximate
+// distinct-count vizketch of the paper (App. B.3: "Number of distinct
+// elements … computed approximatively using the HyperLogLog sketch").
+// Registers merge by pointwise max, which makes it mergeable with no
+// accuracy loss.
+type HLL struct {
+	// Precision p gives m = 2^p registers and standard error ≈ 1.04/√m.
+	Precision uint8
+	Registers []byte
+}
+
+// DefaultHLLPrecision gives 2^12 = 4096 registers (~1.6 % standard
+// error), a good trade between summary size and accuracy for axis
+// labeling decisions.
+const DefaultHLLPrecision = 12
+
+// Add inserts a pre-hashed value.
+func (h *HLL) Add(hash uint64) {
+	p := uint(h.Precision)
+	idx := hash >> (64 - p)
+	// Rank of the first set bit in the remaining 64-p bits.
+	rest := hash<<p | 1<<(p-1) // guard bit keeps rank ≤ 64-p+1
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > h.Registers[idx] {
+		h.Registers[idx] = rank
+	}
+}
+
+// Estimate returns the estimated number of distinct values, with the
+// standard small-range (linear counting) correction.
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.Registers))
+	var sum float64
+	zeros := 0
+	for _, r := range h.Registers {
+		sum += math.Pow(2, -float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	e := alpha * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		return m * math.Log(m/float64(zeros))
+	}
+	return e
+}
+
+// DistinctCountSketch estimates the number of distinct values in a
+// column. It is deterministic (value hashing is seed-free so partitions
+// agree), hence cacheable.
+type DistinctCountSketch struct {
+	Col       string
+	Precision uint8 // 0 means DefaultHLLPrecision
+}
+
+func (s *DistinctCountSketch) precision() uint8 {
+	if s.Precision == 0 {
+		return DefaultHLLPrecision
+	}
+	return s.Precision
+}
+
+// Name implements Sketch.
+func (s *DistinctCountSketch) Name() string {
+	return fmt.Sprintf("distinct(%s,p=%d)", s.Col, s.precision())
+}
+
+// CacheKey implements Cacheable.
+func (s *DistinctCountSketch) CacheKey() string { return s.Name() }
+
+// Zero implements Sketch.
+func (s *DistinctCountSketch) Zero() Result {
+	p := s.precision()
+	return &HLL{Precision: p, Registers: make([]byte, 1<<p)}
+}
+
+// Summarize implements Sketch. String columns use the dictionary fast
+// path: each distinct dictionary value is hashed once and rows insert
+// the precomputed hash.
+func (s *DistinctCountSketch) Summarize(t *table.Table) (Result, error) {
+	col, err := t.Column(s.Col)
+	if err != nil {
+		return nil, err
+	}
+	out := s.Zero().(*HLL)
+	switch c := col.(type) {
+	case *table.StringColumn:
+		hashes := make([]uint64, c.DictSize())
+		for i, v := range c.Dict() {
+			hashes[i] = hashString(v)
+		}
+		t.Members().Iterate(func(row int) bool {
+			if !c.Missing(row) {
+				out.Add(hashes[c.Code(row)])
+			}
+			return true
+		})
+	default:
+		kind := col.Kind()
+		t.Members().Iterate(func(row int) bool {
+			if col.Missing(row) {
+				return true
+			}
+			switch kind {
+			case table.KindInt, table.KindDate:
+				out.Add(hashValueBits(uint64(col.Int(row))))
+			case table.KindDouble:
+				out.Add(hashValueBits(math.Float64bits(col.Double(row))))
+			default:
+				out.Add(hashString(col.Str(row)))
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// Merge implements Sketch.
+func (s *DistinctCountSketch) Merge(a, b Result) (Result, error) {
+	ha, ok1 := a.(*HLL)
+	hb, ok2 := b.(*HLL)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("sketch: distinct merge got %T and %T", a, b)
+	}
+	if len(ha.Registers) != len(hb.Registers) {
+		return nil, fmt.Errorf("sketch: distinct merge with %d vs %d registers", len(ha.Registers), len(hb.Registers))
+	}
+	out := &HLL{Precision: ha.Precision, Registers: make([]byte, len(ha.Registers))}
+	for i := range out.Registers {
+		if ha.Registers[i] >= hb.Registers[i] {
+			out.Registers[i] = ha.Registers[i]
+		} else {
+			out.Registers[i] = hb.Registers[i]
+		}
+	}
+	return out, nil
+}

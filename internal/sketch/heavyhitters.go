@@ -1,0 +1,169 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// HHItem is one heavy-hitter candidate with its (approximate) count.
+type HHItem struct {
+	Value table.Value
+	Count int64
+}
+
+// HeavyHitters is the summary of both heavy-hitter vizketches: candidate
+// values with approximate counts plus the totals needed to apply the
+// frequency threshold at render time.
+type HeavyHitters struct {
+	K int
+	// Counters maps candidate values to counts. For Misra–Gries these
+	// are lower bounds with error ≤ ScannedRows/(K+1); for the sampling
+	// sketch they are sample counts.
+	Counters map[table.Value]int64
+	// ScannedRows counts rows contributing to Counters (all member rows
+	// for Misra–Gries, sampled rows for the sampling sketch).
+	ScannedRows int64
+	// Sampled is true for the sampling variant.
+	Sampled bool
+}
+
+// Items returns candidates with count ≥ threshold, sorted by descending
+// count (ties broken by value for determinism).
+func (h *HeavyHitters) Items(threshold int64) []HHItem {
+	items := make([]HHItem, 0, len(h.Counters))
+	for v, c := range h.Counters {
+		if c >= threshold {
+			items = append(items, HHItem{Value: v, Count: c})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Value.Compare(items[j].Value) < 0
+	})
+	return items
+}
+
+// Hitters applies each sketch's standard decision rule and returns the
+// selected heavy hitters. For Misra–Gries it returns values whose lower
+// bound exceeds N/K minus the structural error; for sampling it applies
+// the 3n/4K rule of Theorem 4.
+func (h *HeavyHitters) Hitters() []HHItem {
+	if h.K <= 0 || h.ScannedRows == 0 {
+		return nil
+	}
+	if h.Sampled {
+		return h.Items((3*h.ScannedRows + 4*int64(h.K) - 1) / (4 * int64(h.K)))
+	}
+	thr := h.ScannedRows/int64(h.K) - h.ScannedRows/int64(h.K+1)
+	if thr < 1 {
+		thr = 1
+	}
+	return h.Items(thr)
+}
+
+// MisraGriesSketch finds values occurring more than a 1/K fraction of
+// the time with the Misra–Gries streaming algorithm (paper App. B.2
+// "Heavy hitters (streaming)"), using the mergeable-summaries merge rule
+// of Agarwal et al.
+type MisraGriesSketch struct {
+	Col string
+	K   int
+}
+
+// Name implements Sketch.
+func (s *MisraGriesSketch) Name() string { return fmt.Sprintf("misra-gries(%s,k=%d)", s.Col, s.K) }
+
+// CacheKey implements Cacheable: Misra–Gries is deterministic.
+func (s *MisraGriesSketch) CacheKey() string { return s.Name() }
+
+// Zero implements Sketch.
+func (s *MisraGriesSketch) Zero() Result {
+	return &HeavyHitters{K: s.K, Counters: map[table.Value]int64{}}
+}
+
+// Summarize implements Sketch. The decrement step pairs each decrement
+// with a prior increment, so the scan is amortized O(rows).
+func (s *MisraGriesSketch) Summarize(t *table.Table) (Result, error) {
+	col, err := t.Column(s.Col)
+	if err != nil {
+		return nil, err
+	}
+	k := s.K
+	if k < 1 {
+		k = 1
+	}
+	out := &HeavyHitters{K: s.K, Counters: make(map[table.Value]int64, k+1)}
+	t.Members().Iterate(func(row int) bool {
+		out.ScannedRows++
+		v := col.Value(row)
+		if c, ok := out.Counters[v]; ok {
+			out.Counters[v] = c + 1
+			return true
+		}
+		if len(out.Counters) < k {
+			out.Counters[v] = 1
+			return true
+		}
+		// Decrement every counter; drop zeros.
+		for u, c := range out.Counters {
+			if c <= 1 {
+				delete(out.Counters, u)
+			} else {
+				out.Counters[u] = c - 1
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+// Merge implements Sketch: add counters pointwise; if more than K
+// survive, subtract the (K+1)-th largest count from all and drop
+// non-positive entries (the mergeable-summaries rule, which preserves
+// the N/(K+1) error bound).
+func (s *MisraGriesSketch) Merge(a, b Result) (Result, error) {
+	ha, hb, err := heavyArgs(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := &HeavyHitters{
+		K:           s.K,
+		Counters:    make(map[table.Value]int64, len(ha.Counters)+len(hb.Counters)),
+		ScannedRows: ha.ScannedRows + hb.ScannedRows,
+	}
+	for v, c := range ha.Counters {
+		out.Counters[v] = c
+	}
+	for v, c := range hb.Counters {
+		out.Counters[v] += c
+	}
+	if len(out.Counters) > s.K && s.K > 0 {
+		counts := make([]int64, 0, len(out.Counters))
+		for _, c := range out.Counters {
+			counts = append(counts, c)
+		}
+		sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+		sub := counts[s.K]
+		for v, c := range out.Counters {
+			if c-sub <= 0 {
+				delete(out.Counters, v)
+			} else {
+				out.Counters[v] = c - sub
+			}
+		}
+	}
+	return out, nil
+}
+
+func heavyArgs(a, b Result) (*HeavyHitters, *HeavyHitters, error) {
+	ha, ok1 := a.(*HeavyHitters)
+	hb, ok2 := b.(*HeavyHitters)
+	if !ok1 || !ok2 {
+		return nil, nil, fmt.Errorf("sketch: heavy-hitters merge got %T and %T", a, b)
+	}
+	return ha, hb, nil
+}

@@ -1,0 +1,220 @@
+package sketch
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// genSkewedStrings builds a table of one string column where value "v0"
+// holds frac0 of rows, "v1" holds frac1, and the rest is a long uniform
+// tail of rare values.
+func genSkewedStrings(id string, n int, frac0, frac1 float64, seed uint64) *table.Table {
+	rng := rand.New(rand.NewPCG(seed, seed*3+1))
+	schema := table.NewSchema(table.ColumnDesc{Name: "s", Kind: table.KindString})
+	b := table.NewBuilder(schema, n)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		var v string
+		switch {
+		case u < frac0:
+			v = "v0"
+		case u < frac0+frac1:
+			v = "v1"
+		default:
+			v = "tail-" + string(rune('a'+rng.IntN(26))) + string(rune('a'+rng.IntN(26))) + string(rune('a'+rng.IntN(26)))
+		}
+		b.AppendRow(table.Row{table.StringValue(v)})
+	}
+	return b.Freeze(id)
+}
+
+func exactCounts(tbl *table.Table, col string) map[string]int64 {
+	c := tbl.MustColumn(col)
+	out := map[string]int64{}
+	tbl.Members().Iterate(func(i int) bool {
+		out[c.Str(i)]++
+		return true
+	})
+	return out
+}
+
+// TestMisraGriesGuarantee checks the Misra–Gries bound: every value with
+// true frequency > N/(K+1) survives, and stored counts are lower bounds
+// within N/(K+1) of truth.
+func TestMisraGriesGuarantee(t *testing.T) {
+	const n = 30000
+	const k = 10
+	tbl := genSkewedStrings("mg", n, 0.4, 0.2, 51)
+	truth := exactCounts(tbl, "s")
+
+	sk := &MisraGriesSketch{Col: "s", K: k}
+	res, err := sk.Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh := res.(*HeavyHitters)
+	if hh.ScannedRows != n {
+		t.Fatalf("ScannedRows = %d", hh.ScannedRows)
+	}
+	errBound := int64(n)/int64(k+1) + 1
+	for v, c := range hh.Counters {
+		tc := truth[v.S]
+		if c > tc {
+			t.Errorf("count for %q overshoots: %d > %d", v.S, c, tc)
+		}
+		if tc-c > errBound {
+			t.Errorf("count for %q undershoots by %d (> bound %d)", v.S, tc-c, errBound)
+		}
+	}
+	// v0 (40%) and v1 (20%) must both be present.
+	for _, want := range []string{"v0", "v1"} {
+		if _, ok := hh.Counters[table.StringValue(want)]; !ok {
+			t.Errorf("heavy value %q missing from summary", want)
+		}
+	}
+}
+
+// TestMisraGriesMergeGuarantee splits the data, merges summaries, and
+// re-checks the error bound — the mergeable-summaries property.
+func TestMisraGriesMergeGuarantee(t *testing.T) {
+	const n = 30000
+	const k = 10
+	tbl := genSkewedStrings("mgm", n, 0.35, 0.25, 52)
+	truth := exactCounts(tbl, "s")
+
+	sk := &MisraGriesSketch{Col: "s", K: k}
+	parts := summarizeParts(t, sk, splitTable(tbl, 6))
+	merged, err := MergeAll(sk, parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh := merged.(*HeavyHitters)
+	if len(hh.Counters) > k {
+		t.Fatalf("merged summary has %d > K counters", len(hh.Counters))
+	}
+	errBound := int64(n)/int64(k+1) + 1
+	for v, c := range hh.Counters {
+		tc := truth[v.S]
+		if c > tc || tc-c > errBound {
+			t.Errorf("merged count for %q = %d, truth %d, bound %d", v.S, c, tc, errBound)
+		}
+	}
+	for _, want := range []string{"v0", "v1"} {
+		if _, ok := hh.Counters[table.StringValue(want)]; !ok {
+			t.Errorf("heavy value %q lost in merge", want)
+		}
+	}
+	if hh.ScannedRows != n {
+		t.Errorf("merged ScannedRows = %d", hh.ScannedRows)
+	}
+}
+
+// TestSampleHeavyHittersTheorem4 checks App. C Thm 4: with
+// n = K²·log(K/δ) samples, all values above 1/K frequency are returned
+// and none below 1/(4K).
+func TestSampleHeavyHittersTheorem4(t *testing.T) {
+	const n = 100000
+	const k = 10
+	tbl := genSkewedStrings("shh", n, 0.30, 0.15, 53) // both > 1/k = 10%
+	target := HeavyHittersSampleSize(k, 0.01)
+	rate := Rate(target, n)
+
+	failures := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		sk := &SampleHeavyHittersSketch{Col: "s", K: k, Rate: rate, Seed: uint64(trial)}
+		parts := summarizeParts(t, sk, splitTable(tbl, 4))
+		merged, err := MergeAll(sk, parts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hh := merged.(*HeavyHitters)
+		hits := hh.Hitters()
+		found := map[string]bool{}
+		for _, h := range hits {
+			found[h.Value.S] = true
+		}
+		ok := found["v0"] && found["v1"]
+		// No value below 1/(4K) = 2.5%: every tail value is < 0.2%.
+		for _, h := range hits {
+			if h.Value.S != "v0" && h.Value.S != "v1" {
+				ok = false
+			}
+		}
+		if !ok {
+			failures++
+		}
+	}
+	if failures > 1 {
+		t.Errorf("Theorem 4 violated in %d/%d trials", failures, trials)
+	}
+}
+
+func TestHeavyHittersItemsOrder(t *testing.T) {
+	hh := &HeavyHitters{K: 3, Counters: map[table.Value]int64{
+		table.StringValue("b"): 5,
+		table.StringValue("a"): 5,
+		table.StringValue("c"): 9,
+	}}
+	items := hh.Items(1)
+	if len(items) != 3 || items[0].Value.S != "c" || items[1].Value.S != "a" || items[2].Value.S != "b" {
+		t.Errorf("Items order wrong: %+v", items)
+	}
+	if got := hh.Items(6); len(got) != 1 {
+		t.Errorf("threshold filter wrong: %+v", got)
+	}
+	empty := &HeavyHitters{}
+	if empty.Hitters() != nil {
+		t.Error("empty summary should yield no hitters")
+	}
+}
+
+func TestMisraGriesMergeOrderGuarantee(t *testing.T) {
+	// Misra–Gries merges are associative only in the error-bound sense:
+	// ties among truncated counters may resolve differently per merge
+	// order. What must hold for every order is the guarantee itself —
+	// heavy values survive with bounded count error.
+	const n = 5000
+	const k = 8
+	tbl := genSkewedStrings("mgi", n, 0.3, 0.2, 54)
+	truth := exactCounts(tbl, "s")
+	sk := &MisraGriesSketch{Col: "s", K: k}
+	parts := summarizeParts(t, sk, splitTable(tbl, 5))
+	rng := rand.New(rand.NewPCG(1, 2))
+	errBound := int64(n)/int64(k+1) + 1
+	for trial := 0; trial < 10; trial++ {
+		hh := mergeTree(t, sk, parts, rng).(*HeavyHitters)
+		if len(hh.Counters) > k {
+			t.Fatalf("trial %d: %d > K counters", trial, len(hh.Counters))
+		}
+		for _, want := range []string{"v0", "v1"} {
+			c, ok := hh.Counters[table.StringValue(want)]
+			if !ok {
+				t.Fatalf("trial %d: heavy value %q lost", trial, want)
+			}
+			if tc := truth[want]; c > tc || tc-c > errBound {
+				t.Fatalf("trial %d: count for %q = %d, truth %d, bound %d", trial, want, c, tc, errBound)
+			}
+		}
+	}
+}
+
+func TestHeavyHittersIntColumn(t *testing.T) {
+	schema := table.NewSchema(table.ColumnDesc{Name: "v", Kind: table.KindInt})
+	b := table.NewBuilder(schema, 100)
+	for i := 0; i < 100; i++ {
+		v := int64(i % 3) // 0,1,2 each ~33%
+		b.AppendRow(table.Row{table.IntValue(v)})
+	}
+	tbl := b.Freeze("ints")
+	res, err := (&MisraGriesSketch{Col: "v", K: 5}).Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := res.(*HeavyHitters).Hitters()
+	if len(hits) != 3 {
+		t.Errorf("hitters = %+v, want 3 values", hits)
+	}
+}

@@ -1,0 +1,133 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// testSchema is the schema shared by most sketch tests: a numeric value,
+// a categorical string, and an integer key.
+var testSchema = table.NewSchema(
+	table.ColumnDesc{Name: "x", Kind: table.KindDouble},
+	table.ColumnDesc{Name: "cat", Kind: table.KindString},
+	table.ColumnDesc{Name: "id", Kind: table.KindInt},
+)
+
+// genTable builds a deterministic pseudo-random table of n rows with id
+// string id. x is uniform in [0,100) with ~1% missing; cat is a skewed
+// choice over 8 categories.
+func genTable(id string, n int, seed uint64) *table.Table {
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	b := table.NewBuilder(testSchema, n)
+	cats := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	for i := 0; i < n; i++ {
+		var x table.Value
+		if rng.Float64() < 0.01 {
+			x = table.MissingValue(table.KindDouble)
+		} else {
+			x = table.DoubleValue(rng.Float64() * 100)
+		}
+		// Skew: category c chosen with probability ~ 2^-(c+1).
+		c := 0
+		for c < len(cats)-1 && rng.Float64() < 0.5 {
+			c++
+		}
+		b.AppendRow(table.Row{x, table.StringValue(cats[c]), table.IntValue(int64(i))})
+	}
+	return b.Freeze(id)
+}
+
+// splitTable splits a table's rows into k partition tables (contiguous
+// ranges), each with its own ID, preserving all values.
+func splitTable(t *table.Table, k int) []*table.Table {
+	rows := t.Rows()
+	per := (len(rows) + k - 1) / k
+	var parts []*table.Table
+	for p := 0; p*per < len(rows); p++ {
+		lo, hi := p*per, (p+1)*per
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		b := table.NewBuilder(t.Schema(), hi-lo)
+		for _, r := range rows[lo:hi] {
+			b.AppendRow(r)
+		}
+		parts = append(parts, b.Freeze(fmt.Sprintf("%s-part%d", t.ID(), p)))
+	}
+	return parts
+}
+
+// summarizeParts runs the sketch over each partition.
+func summarizeParts(t *testing.T, sk Sketch, parts []*table.Table) []Result {
+	t.Helper()
+	out := make([]Result, len(parts))
+	for i, p := range parts {
+		r, err := sk.Summarize(p)
+		if err != nil {
+			t.Fatalf("Summarize(%s): %v", p.ID(), err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// mergeTree merges partials in a random binary-tree order, exercising
+// associativity and commutativity.
+func mergeTree(t *testing.T, sk Sketch, parts []Result, rng *rand.Rand) Result {
+	t.Helper()
+	work := append([]Result{sk.Zero()}, parts...)
+	for len(work) > 1 {
+		i := rng.IntN(len(work))
+		j := rng.IntN(len(work))
+		for j == i {
+			j = rng.IntN(len(work))
+		}
+		m, err := sk.Merge(work[i], work[j])
+		if err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+		// Remove i and j (larger index first), append the merge.
+		if i < j {
+			i, j = j, i
+		}
+		work = append(work[:i], work[i+1:]...)
+		work = append(work[:j], work[j+1:]...)
+		work = append(work, m)
+	}
+	return work[0]
+}
+
+// checkMergeInvariance verifies that merging fixed partials in many
+// random tree orders always yields the same summary — the property that
+// makes progressive partial aggregation sound (paper §5.3).
+func checkMergeInvariance(t *testing.T, sk Sketch, parts []Result) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(99, 100))
+	base := mergeTree(t, sk, parts, rng)
+	for trial := 0; trial < 8; trial++ {
+		got := mergeTree(t, sk, parts, rng)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("merge order changed result:\n base=%+v\n got=%+v", base, got)
+		}
+	}
+}
+
+// checkExactMergeability verifies summarize(D) == merge(summarize(Dᵢ))
+// for partition-insensitive deterministic sketches.
+func checkExactMergeability(t *testing.T, sk Sketch, whole *table.Table, numParts int) {
+	t.Helper()
+	want, err := sk.Summarize(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := splitTable(whole, numParts)
+	partials := summarizeParts(t, sk, parts)
+	got := mergeTree(t, sk, partials, rand.New(rand.NewPCG(7, 8)))
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("mergeability violated:\n whole=%+v\n merged=%+v", want, got)
+	}
+}

@@ -1,0 +1,205 @@
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// Histogram2D is the summary behind stacked histograms, normalized
+// stacked histograms, and heat maps (paper App. B.1): a Bx × By count
+// matrix plus per-X tallies of rows whose Y value is missing or out of
+// range (stacked histograms must still show those rows in the X bar).
+type Histogram2D struct {
+	X, Y BucketSpec
+	// Counts is row-major: Counts[xi*Y.Count + yi].
+	Counts []int64
+	// YOther[xi] counts rows in X bucket xi whose Y is missing or out of
+	// range.
+	YOther []int64
+	// XMissing counts rows whose X value is missing or out of range.
+	XMissing    int64
+	SampleRate  float64
+	SampledRows int64
+}
+
+// At returns the sample-scale count of cell (xi, yi).
+func (h *Histogram2D) At(xi, yi int) int64 { return h.Counts[xi*h.Y.Count+yi] }
+
+// XTotal returns the total sample-scale count of X bucket xi including
+// rows with missing/out-of-range Y.
+func (h *Histogram2D) XTotal(xi int) int64 {
+	var t int64 = h.YOther[xi]
+	for yi := 0; yi < h.Y.Count; yi++ {
+		t += h.At(xi, yi)
+	}
+	return t
+}
+
+// MaxCell returns the largest cell count (heat map color scaling).
+func (h *Histogram2D) MaxCell() int64 {
+	var m int64
+	for _, c := range h.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MaxXTotal returns the largest X bucket total (stacked bar scaling).
+func (h *Histogram2D) MaxXTotal() int64 {
+	var m int64
+	for xi := 0; xi < h.X.Count; xi++ {
+		if t := h.XTotal(xi); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Transpose returns the summary with the axes swapped — the "swap axes"
+// interaction of paper §3.4, computed from the existing summary rather
+// than by re-querying (another instance of compute-what-you-display:
+// the information is already on screen). Rows whose Y value was missing
+// cannot move to the new Y axis and are folded into XMissing.
+func (h *Histogram2D) Transpose() *Histogram2D {
+	out := &Histogram2D{
+		X:           h.Y,
+		Y:           h.X,
+		Counts:      make([]int64, len(h.Counts)),
+		YOther:      make([]int64, h.Y.Count),
+		XMissing:    h.XMissing,
+		SampleRate:  h.SampleRate,
+		SampledRows: h.SampledRows,
+	}
+	for xi := 0; xi < h.X.Count; xi++ {
+		for yi := 0; yi < h.Y.Count; yi++ {
+			out.Counts[yi*out.Y.Count+xi] = h.At(xi, yi)
+		}
+		out.XMissing += h.YOther[xi]
+	}
+	return out
+}
+
+// Histogram2DSketch counts rows over a two-dimensional bucket grid. A
+// Rate of 0 (or ≥1) scans every member row — required by the normalized
+// stacked histogram (paper App. B.1: a small X bin normalized to a full
+// bar would amplify sampling error) and by log-scale heat maps; other
+// uses sample (paper §4.3, heat map target n = O(c²Bx²By²·log(1/δ))).
+type Histogram2DSketch struct {
+	XCol, YCol string
+	X, Y       BucketSpec
+	Rate       float64
+	Seed       uint64
+}
+
+// Name implements Sketch.
+func (s *Histogram2DSketch) Name() string {
+	return fmt.Sprintf("hist2d(%s,%s,%s,%s,r=%g,seed=%d)", s.XCol, s.YCol, s.X, s.Y, s.Rate, s.Seed)
+}
+
+// Zero implements Sketch.
+func (s *Histogram2DSketch) Zero() Result {
+	rate := s.Rate
+	if rate <= 0 || rate > 1 {
+		rate = 1
+	}
+	return &Histogram2D{
+		X:          s.X,
+		Y:          s.Y,
+		Counts:     make([]int64, s.X.NumBuckets()*s.Y.NumBuckets()),
+		YOther:     make([]int64, s.X.NumBuckets()),
+		SampleRate: rate,
+	}
+}
+
+// Summarize implements Sketch.
+func (s *Histogram2DSketch) Summarize(t *table.Table) (Result, error) {
+	xcol, err := t.Column(s.XCol)
+	if err != nil {
+		return nil, err
+	}
+	ycol, err := t.Column(s.YCol)
+	if err != nil {
+		return nil, err
+	}
+	xIdx, err := s.X.Indexer(xcol)
+	if err != nil {
+		return nil, err
+	}
+	yIdx, err := s.Y.Indexer(ycol)
+	if err != nil {
+		return nil, err
+	}
+	h := s.Zero().(*Histogram2D)
+	visit := func(row int) bool {
+		h.SampledRows++
+		xb := xIdx(row)
+		if xb < 0 {
+			h.XMissing++
+			return true
+		}
+		if yb := yIdx(row); yb >= 0 {
+			h.Counts[xb*h.Y.Count+yb]++
+		} else {
+			h.YOther[xb]++
+		}
+		return true
+	}
+	if h.SampleRate >= 1 {
+		t.Members().Iterate(visit)
+	} else {
+		t.Members().Sample(h.SampleRate, PartitionSeed(s.Seed, t.ID()), visit)
+	}
+	return h, nil
+}
+
+// Merge implements Sketch.
+func (s *Histogram2DSketch) Merge(a, b Result) (Result, error) {
+	ha, ok1 := a.(*Histogram2D)
+	hb, ok2 := b.(*Histogram2D)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("sketch: hist2d merge got %T and %T", a, b)
+	}
+	if len(ha.Counts) != len(hb.Counts) || len(ha.YOther) != len(hb.YOther) {
+		return nil, fmt.Errorf("sketch: hist2d merge geometry mismatch")
+	}
+	out := &Histogram2D{
+		X:           ha.X,
+		Y:           ha.Y,
+		Counts:      make([]int64, len(ha.Counts)),
+		YOther:      make([]int64, len(ha.YOther)),
+		XMissing:    ha.XMissing + hb.XMissing,
+		SampleRate:  ha.SampleRate,
+		SampledRows: ha.SampledRows + hb.SampledRows,
+	}
+	for i := range out.Counts {
+		out.Counts[i] = ha.Counts[i] + hb.Counts[i]
+	}
+	for i := range out.YOther {
+		out.YOther[i] = ha.YOther[i] + hb.YOther[i]
+	}
+	return out, nil
+}
+
+// NewStackedHistogramSketch builds the vizketch for a stacked histogram:
+// Bx bars subdivided into at most ~20 color bins for Y (paper App. B.1:
+// "the human eye cannot distinguish many colors reliably, so By is
+// limited to ≈20"), sampled at rate.
+func NewStackedHistogramSketch(xcol, ycol string, x, y BucketSpec, rate float64, seed uint64) *Histogram2DSketch {
+	return &Histogram2DSketch{XCol: xcol, YCol: ycol, X: x, Y: y, Rate: rate, Seed: seed}
+}
+
+// NewNormalizedStackedSketch builds the vizketch for a normalized stacked
+// histogram, which must scan all rows (paper App. B.1).
+func NewNormalizedStackedSketch(xcol, ycol string, x, y BucketSpec) *Histogram2DSketch {
+	return &Histogram2DSketch{XCol: xcol, YCol: ycol, X: x, Y: y, Rate: 1}
+}
+
+// NewHeatmapSketch builds the vizketch for a heat map with Bx = W/b and
+// By = V/b bins for b-pixel cells (paper §4.3); sampling is valid only
+// for linear color scales, so callers pass rate 1 for log scales.
+func NewHeatmapSketch(xcol, ycol string, x, y BucketSpec, rate float64, seed uint64) *Histogram2DSketch {
+	return &Histogram2DSketch{XCol: xcol, YCol: ycol, X: x, Y: y, Rate: rate, Seed: seed}
+}

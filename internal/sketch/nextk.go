@@ -1,0 +1,169 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// NextKList is the summary behind the spreadsheet's tabular view (paper
+// §4.3 "Next items"): the K distinct rows that follow a start row in the
+// sort order, with duplicate rows aggregated into counts (paper §3.3),
+// plus enough position information to draw the scroll bar.
+type NextKList struct {
+	Order table.RecordOrder
+	// Rows are the materialized result rows, sorted by Order, laid out
+	// as [order columns..., extra columns...].
+	Rows []table.Row
+	// Counts[i] is the number of duplicates of Rows[i].
+	Counts []int64
+	// Before counts member rows at or before the start row in the sort
+	// order (the view's absolute position).
+	Before int64
+	// Total counts all member rows scanned.
+	Total int64
+	K     int
+}
+
+// NextKSketch computes a NextKList. From is the exclusive start row,
+// containing values for the order columns only (nil starts at the
+// beginning). The summarize function keeps a bounded ordered set; the
+// merge function merges two sorted lists and truncates (paper §4.3).
+type NextKSketch struct {
+	Order table.RecordOrder
+	// Extra lists display columns beyond the sort columns.
+	Extra []string
+	K     int
+	From  table.Row
+}
+
+// Name implements Sketch.
+func (s *NextKSketch) Name() string {
+	return fmt.Sprintf("nextk(%s,+%v,k=%d,from=%v)", s.Order, s.Extra, s.K, s.From)
+}
+
+// Zero implements Sketch.
+func (s *NextKSketch) Zero() Result {
+	return &NextKList{Order: s.Order, K: s.K}
+}
+
+// rowCmp compares result rows: the order-column prefix under the sort
+// directions, then the remaining columns ascending as a deterministic
+// tie-break so that equal-keyed distinct rows merge identically
+// everywhere.
+func (s *NextKSketch) rowCmp() func(a, b table.Row) int {
+	prefix := s.Order.RowComparator()
+	n := len(s.Order)
+	return func(a, b table.Row) int {
+		if c := prefix(a, b); c != 0 {
+			return c
+		}
+		for i := n; i < len(a) && i < len(b); i++ {
+			if c := a[i].Compare(b[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+// Summarize implements Sketch.
+func (s *NextKSketch) Summarize(t *table.Table) (Result, error) {
+	cols := make([]int, 0, len(s.Order)+len(s.Extra))
+	for _, o := range s.Order {
+		i := t.Schema().ColumnIndex(o.Column)
+		if i < 0 {
+			return nil, fmt.Errorf("sketch: nextk: no column %q", o.Column)
+		}
+		cols = append(cols, i)
+	}
+	for _, name := range s.Extra {
+		i := t.Schema().ColumnIndex(name)
+		if i < 0 {
+			return nil, fmt.Errorf("sketch: nextk: no column %q", name)
+		}
+		cols = append(cols, i)
+	}
+	keyCmp := s.Order.RowComparator()
+	cmp := s.rowCmp()
+	out := s.Zero().(*NextKList)
+	nOrder := len(s.Order)
+
+	t.Members().Iterate(func(row int) bool {
+		out.Total++
+		r := t.GetRowCols(row, cols)
+		if s.From != nil && keyCmp(r[:nOrder], s.From) <= 0 {
+			out.Before++
+			return true
+		}
+		// Find insertion point in the bounded sorted list.
+		i := sort.Search(len(out.Rows), func(i int) bool { return cmp(out.Rows[i], r) >= 0 })
+		if i < len(out.Rows) && cmp(out.Rows[i], r) == 0 {
+			out.Counts[i]++
+			return true
+		}
+		if i >= s.K {
+			return true // beyond the window
+		}
+		out.Rows = append(out.Rows, nil)
+		copy(out.Rows[i+1:], out.Rows[i:])
+		out.Rows[i] = r
+		out.Counts = append(out.Counts, 0)
+		copy(out.Counts[i+1:], out.Counts[i:])
+		out.Counts[i] = 1
+		if len(out.Rows) > s.K {
+			out.Rows = out.Rows[:s.K]
+			out.Counts = out.Counts[:s.K]
+		}
+		return true
+	})
+	return out, nil
+}
+
+// Merge implements Sketch: a sorted-list merge with duplicate
+// aggregation, truncated to K.
+func (s *NextKSketch) Merge(a, b Result) (Result, error) {
+	la, ok1 := a.(*NextKList)
+	lb, ok2 := b.(*NextKList)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("sketch: nextk merge got %T and %T", a, b)
+	}
+	cmp := s.rowCmp()
+	out := &NextKList{
+		Order:  s.Order,
+		K:      s.K,
+		Before: la.Before + lb.Before,
+		Total:  la.Total + lb.Total,
+	}
+	i, j := 0, 0
+	for len(out.Rows) < s.K && (i < len(la.Rows) || j < len(lb.Rows)) {
+		switch {
+		case i >= len(la.Rows):
+			out.Rows = append(out.Rows, lb.Rows[j])
+			out.Counts = append(out.Counts, lb.Counts[j])
+			j++
+		case j >= len(lb.Rows):
+			out.Rows = append(out.Rows, la.Rows[i])
+			out.Counts = append(out.Counts, la.Counts[i])
+			i++
+		default:
+			switch c := cmp(la.Rows[i], lb.Rows[j]); {
+			case c < 0:
+				out.Rows = append(out.Rows, la.Rows[i])
+				out.Counts = append(out.Counts, la.Counts[i])
+				i++
+			case c > 0:
+				out.Rows = append(out.Rows, lb.Rows[j])
+				out.Counts = append(out.Counts, lb.Counts[j])
+				j++
+			default:
+				out.Rows = append(out.Rows, la.Rows[i])
+				out.Counts = append(out.Counts, la.Counts[i]+lb.Counts[j])
+				i++
+				j++
+			}
+		}
+	}
+	return out, nil
+}

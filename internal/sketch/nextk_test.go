@@ -1,0 +1,173 @@
+package sketch
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// referenceNextK computes the expected NextKList by brute force: sort
+// all materialized rows, skip past From, dedup with counts, take K.
+func referenceNextK(t *testing.T, tbl *table.Table, sk *NextKSketch) *NextKList {
+	t.Helper()
+	cols := make([]int, 0)
+	for _, o := range sk.Order {
+		cols = append(cols, tbl.Schema().ColumnIndex(o.Column))
+	}
+	for _, e := range sk.Extra {
+		cols = append(cols, tbl.Schema().ColumnIndex(e))
+	}
+	var rows []table.Row
+	tbl.Members().Iterate(func(i int) bool {
+		rows = append(rows, tbl.GetRowCols(i, cols))
+		return true
+	})
+	cmp := sk.rowCmp()
+	keyCmp := sk.Order.RowComparator()
+	sort.SliceStable(rows, func(i, j int) bool { return cmp(rows[i], rows[j]) < 0 })
+
+	out := &NextKList{Order: sk.Order, K: sk.K, Total: int64(len(rows))}
+	for _, r := range rows {
+		if sk.From != nil && keyCmp(r[:len(sk.Order)], sk.From) <= 0 {
+			out.Before++
+			continue
+		}
+		if n := len(out.Rows); n > 0 && cmp(out.Rows[n-1], r) == 0 {
+			out.Counts[n-1]++
+			continue
+		}
+		if len(out.Rows) == sk.K {
+			continue
+		}
+		out.Rows = append(out.Rows, r)
+		out.Counts = append(out.Counts, 1)
+	}
+	return out
+}
+
+func assertNextKEqual(t *testing.T, got, want *NextKList) {
+	t.Helper()
+	if got.Before != want.Before || got.Total != want.Total {
+		t.Fatalf("Before/Total = %d/%d, want %d/%d", got.Before, got.Total, want.Before, want.Total)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("got %d rows, want %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		if !got.Rows[i].Equal(want.Rows[i]) {
+			t.Fatalf("row %d = %v, want %v", i, got.Rows[i], want.Rows[i])
+		}
+		if got.Counts[i] != want.Counts[i] {
+			t.Fatalf("count %d = %d, want %d", i, got.Counts[i], want.Counts[i])
+		}
+	}
+}
+
+func TestNextKAgainstReference(t *testing.T) {
+	tbl := genTable("nk", 3000, 31)
+	cases := []*NextKSketch{
+		{Order: table.Asc("x"), Extra: []string{"id"}, K: 10},
+		{Order: table.Desc("x"), Extra: []string{"cat"}, K: 25},
+		{Order: table.Asc("cat").Then("x", true), K: 15},
+		{Order: table.Asc("cat"), K: 5}, // heavy dedup: few categories
+	}
+	for _, sk := range cases {
+		t.Run(sk.Name(), func(t *testing.T) {
+			got, err := sk.Summarize(tbl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertNextKEqual(t, got.(*NextKList), referenceNextK(t, tbl, sk))
+		})
+	}
+}
+
+func TestNextKDedupCounts(t *testing.T) {
+	// A column with exactly 3 distinct values: counts must cover all rows.
+	schema := table.NewSchema(table.ColumnDesc{Name: "v", Kind: table.KindInt})
+	b := table.NewBuilder(schema, 30)
+	for i := 0; i < 30; i++ {
+		b.AppendRow(table.Row{table.IntValue(int64(i % 3))})
+	}
+	tbl := b.Freeze("dedup")
+	sk := &NextKSketch{Order: table.Asc("v"), K: 10}
+	res, err := sk.Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.(*NextKList)
+	if len(l.Rows) != 3 {
+		t.Fatalf("distinct rows = %d, want 3", len(l.Rows))
+	}
+	for i, c := range l.Counts {
+		if c != 10 {
+			t.Errorf("count[%d] = %d, want 10", i, c)
+		}
+	}
+}
+
+func TestNextKFrom(t *testing.T) {
+	tbl := genTable("nkf", 2000, 32)
+	// Page 1.
+	sk1 := &NextKSketch{Order: table.Asc("x"), Extra: []string{"id"}, K: 20}
+	res1, err := sk1.Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page1 := res1.(*NextKList)
+	// Page 2 starts after the last row of page 1 (order-columns prefix).
+	last := page1.Rows[len(page1.Rows)-1]
+	from := last[:1].Clone()
+	sk2 := &NextKSketch{Order: table.Asc("x"), Extra: []string{"id"}, K: 20, From: from}
+	res2, err := sk2.Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page2 := res2.(*NextKList)
+	assertNextKEqual(t, page2, referenceNextK(t, tbl, sk2))
+	// Pages must not overlap: every page-2 key > every page-1 key.
+	cmp := sk1.Order.RowComparator()
+	if cmp(page2.Rows[0][:1], page1.Rows[len(page1.Rows)-1][:1]) <= 0 {
+		t.Error("page 2 overlaps page 1")
+	}
+	if page2.Before == 0 {
+		t.Error("page 2 should count rows before the cursor")
+	}
+}
+
+func TestNextKExactMergeability(t *testing.T) {
+	tbl := genTable("nkm", 2500, 33)
+	sk := &NextKSketch{Order: table.Asc("cat").Then("x", false), Extra: []string{"id"}, K: 12}
+	checkExactMergeability(t, sk, tbl, 7)
+	parts := summarizeParts(t, sk, splitTable(tbl, 7))
+	checkMergeInvariance(t, sk, parts)
+}
+
+func TestNextKMissingColumn(t *testing.T) {
+	tbl := genTable("nke", 10, 34)
+	if _, err := (&NextKSketch{Order: table.Asc("zzz"), K: 5}).Summarize(tbl); err == nil {
+		t.Error("unknown order column should error")
+	}
+	if _, err := (&NextKSketch{Order: table.Asc("x"), Extra: []string{"zzz"}, K: 5}).Summarize(tbl); err == nil {
+		t.Error("unknown extra column should error")
+	}
+}
+
+func TestNextKMissingValuesSortFirst(t *testing.T) {
+	schema := table.NewSchema(table.ColumnDesc{Name: "v", Kind: table.KindInt})
+	b := table.NewBuilder(schema, 4)
+	b.AppendRow(table.Row{table.IntValue(5)})
+	b.AppendRow(table.Row{table.MissingValue(table.KindInt)})
+	b.AppendRow(table.Row{table.IntValue(1)})
+	b.AppendRow(table.Row{table.MissingValue(table.KindInt)})
+	tbl := b.Freeze("miss")
+	res, err := (&NextKSketch{Order: table.Asc("v"), K: 4}).Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.(*NextKList)
+	if !l.Rows[0][0].Missing || l.Counts[0] != 2 {
+		t.Errorf("missing rows should lead ascending order with count 2: %+v", l)
+	}
+}

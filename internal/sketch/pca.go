@@ -1,0 +1,254 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/table"
+)
+
+// CoMoments is the summary behind the PCA vizketch (paper App. B.3):
+// counts, sums, and the full cross-product matrix over M numeric
+// columns, accumulated over (optionally sampled) rows where every
+// column is present. Size is O(M²), independent of the data.
+type CoMoments struct {
+	Cols []string
+	N    int64
+	Sums []float64
+	// Prods is the row-major M×M matrix of Σ xᵢ·xⱼ.
+	Prods       []float64
+	SampledRows int64
+	SampleRate  float64
+}
+
+// dim returns M.
+func (c *CoMoments) dim() int { return len(c.Cols) }
+
+// Covariance returns the M×M sample covariance matrix.
+func (c *CoMoments) Covariance() [][]float64 {
+	m := c.dim()
+	out := make([][]float64, m)
+	n := float64(c.N)
+	for i := range out {
+		out[i] = make([]float64, m)
+		if n == 0 {
+			continue
+		}
+		for j := 0; j < m; j++ {
+			out[i][j] = c.Prods[i*m+j]/n - (c.Sums[i]/n)*(c.Sums[j]/n)
+		}
+	}
+	return out
+}
+
+// Correlation returns the M×M correlation matrix (unit diagonal);
+// zero-variance columns yield zero correlations.
+func (c *CoMoments) Correlation() [][]float64 {
+	cov := c.Covariance()
+	m := c.dim()
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			d := math.Sqrt(cov[i][i] * cov[j][j])
+			if d > 0 {
+				out[i][j] = cov[i][j] / d
+			} else if i == j {
+				out[i][j] = 1
+			}
+		}
+	}
+	return out
+}
+
+// PCA computes the top-k principal components of the correlation
+// matrix. It returns eigenvalues (descending) and the corresponding
+// unit eigenvectors as rows.
+func (c *CoMoments) PCA(k int) (eigenvalues []float64, components [][]float64) {
+	vals, vecs := JacobiEigen(c.Correlation())
+	if k > len(vals) {
+		k = len(vals)
+	}
+	return vals[:k], vecs[:k]
+}
+
+// PCASketch accumulates co-moments over the given numeric columns,
+// sampling rows at Rate (1 scans everything). PCA "can be efficiently
+// computed by a sampling-based sketch" (paper App. B.3).
+type PCASketch struct {
+	Cols []string
+	Rate float64
+	Seed uint64
+}
+
+// Name implements Sketch.
+func (s *PCASketch) Name() string {
+	return fmt.Sprintf("pca(%v,r=%g,seed=%d)", s.Cols, s.Rate, s.Seed)
+}
+
+// Zero implements Sketch.
+func (s *PCASketch) Zero() Result {
+	m := len(s.Cols)
+	rate := s.Rate
+	if rate <= 0 || rate > 1 {
+		rate = 1
+	}
+	return &CoMoments{
+		Cols:       append([]string(nil), s.Cols...),
+		Sums:       make([]float64, m),
+		Prods:      make([]float64, m*m),
+		SampleRate: rate,
+	}
+}
+
+// Summarize implements Sketch.
+func (s *PCASketch) Summarize(t *table.Table) (Result, error) {
+	m := len(s.Cols)
+	cols := make([]table.Column, m)
+	for i, name := range s.Cols {
+		c, err := t.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		if !c.Kind().Numeric() {
+			return nil, fmt.Errorf("sketch: pca over %v column %q", c.Kind(), name)
+		}
+		cols[i] = c
+	}
+	out := s.Zero().(*CoMoments)
+	vals := make([]float64, m)
+	visit := func(row int) bool {
+		out.SampledRows++
+		for i, c := range cols {
+			if c.Missing(row) {
+				return true // rows with any missing value are skipped
+			}
+			vals[i] = c.Double(row)
+		}
+		out.N++
+		for i := 0; i < m; i++ {
+			out.Sums[i] += vals[i]
+			for j := 0; j < m; j++ {
+				out.Prods[i*m+j] += vals[i] * vals[j]
+			}
+		}
+		return true
+	}
+	if out.SampleRate >= 1 {
+		t.Members().Iterate(visit)
+	} else {
+		t.Members().Sample(out.SampleRate, PartitionSeed(s.Seed, t.ID()), visit)
+	}
+	return out, nil
+}
+
+// Merge implements Sketch.
+func (s *PCASketch) Merge(a, b Result) (Result, error) {
+	ca, ok1 := a.(*CoMoments)
+	cb, ok2 := b.(*CoMoments)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("sketch: pca merge got %T and %T", a, b)
+	}
+	if len(ca.Sums) != len(cb.Sums) {
+		return nil, fmt.Errorf("sketch: pca merge dimension mismatch")
+	}
+	out := &CoMoments{
+		Cols:        ca.Cols,
+		N:           ca.N + cb.N,
+		Sums:        make([]float64, len(ca.Sums)),
+		Prods:       make([]float64, len(ca.Prods)),
+		SampledRows: ca.SampledRows + cb.SampledRows,
+		SampleRate:  ca.SampleRate,
+	}
+	for i := range out.Sums {
+		out.Sums[i] = ca.Sums[i] + cb.Sums[i]
+	}
+	for i := range out.Prods {
+		out.Prods[i] = ca.Prods[i] + cb.Prods[i]
+	}
+	return out, nil
+}
+
+// JacobiEigen computes the eigendecomposition of a small symmetric
+// matrix with the cyclic Jacobi rotation method. It returns eigenvalues
+// in descending order and the matching unit eigenvectors as rows.
+// Correlation matrices in the spreadsheet are tiny (M ≲ 100), so the
+// O(M³) per-sweep cost is irrelevant.
+func JacobiEigen(a [][]float64) ([]float64, [][]float64) {
+	n := len(a)
+	// Working copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	// Eigenvector accumulator, starts as identity.
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 64
+	const eps = 1e-12
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < eps {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < eps/float64(n*n+1) {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	// Extract and sort by eigenvalue descending.
+	type ev struct {
+		val float64
+		vec []float64
+	}
+	out := make([]ev, n)
+	for i := 0; i < n; i++ {
+		vec := make([]float64, n)
+		for k := 0; k < n; k++ {
+			vec[k] = v[k][i]
+		}
+		out[i] = ev{val: m[i][i], vec: vec}
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && out[j].val > out[j-1].val; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	vals := make([]float64, n)
+	vecs := make([][]float64, n)
+	for i, e := range out {
+		vals[i] = e.val
+		vecs[i] = e.vec
+	}
+	return vals, vecs
+}

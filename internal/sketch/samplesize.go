@@ -1,0 +1,81 @@
+package sketch
+
+import "math"
+
+// Sample-size formulas from the paper (§4.3 and Appendix C). Each
+// returns the target number of samples for a desired rendering accuracy;
+// the planner converts a target size n into a per-row rate n/N, where N
+// is the row count obtained in the preparation phase. The sizes depend
+// only on the display geometry and δ — never on the dataset size — which
+// is what makes sampled vizketches scale super-linearly (paper §7.2.2).
+//
+// The theoretical bounds carry large constants; the paper notes (App. C)
+// that "in practice, we have found that using CV² samples for constant C
+// works well". We use that practical calibration with C chosen so the
+// empirical 1-pixel error bound holds in the accuracy tests.
+
+// sampleC is the practical constant C in the CV² calibration.
+const sampleC = 4.0
+
+// HistogramSampleSize returns the target sample count for a histogram
+// with B buckets, bar height V pixels, and failure probability delta
+// (paper: n = O(V²B²·log(1/δ)) worst case; practical C·V²·log(1/δ)
+// with a B-dependent floor so narrow, spiky histograms stay accurate).
+func HistogramSampleSize(b, v int, delta float64) int {
+	n := sampleC * float64(v*v) * logInvDelta(delta)
+	if floor := 100.0 * float64(b) * logInvDelta(delta); n < floor {
+		n = floor
+	}
+	return int(math.Ceil(n))
+}
+
+// CDFSampleSize returns the target sample count for a CDF plot with V
+// vertical pixels (paper App. C: n = O(V²·log(1/δ))).
+func CDFSampleSize(v int, delta float64) int {
+	return int(math.Ceil(sampleC * float64(v*v) * logInvDelta(delta)))
+}
+
+// HeatmapSampleSize returns the target sample count for a heat map with
+// bx × by bins and c discernible colors (paper §4.3:
+// n = O(c²·Bx²·By²·log(1/δ)) worst case; the practical bound scales with
+// the bin count and color resolution).
+func HeatmapSampleSize(bx, by, c int, delta float64) int {
+	n := sampleC * float64(c*c) * float64(bx*by) * logInvDelta(delta)
+	return int(math.Ceil(n))
+}
+
+// QuantileSampleSize returns the sample count for scroll-bar quantile
+// estimation with V pixels (paper App. C Thm 2 with ε = 1/(2V):
+// n = O(V²·log(1/δ)); "in practice … sample complexity O(V²) for
+// constant probability of success"). Unlike counting sketches, every
+// sampled item is a whole row, so the practical constant is kept small —
+// the summary must stay display-sized (§4.2).
+func QuantileSampleSize(v int, delta float64) int {
+	return int(math.Ceil(float64(v*v) * logInvDelta(delta) / 4))
+}
+
+// HeavyHittersSampleSize returns the sample count for the sampling
+// heavy-hitters vizketch with threshold 1/K (paper §4.3 and Thm 4:
+// n = K²·log(K/δ)).
+func HeavyHittersSampleSize(k int, delta float64) int {
+	if k < 1 {
+		k = 1
+	}
+	return int(math.Ceil(float64(k*k) * math.Log(float64(k)/delta)))
+}
+
+// Rate converts a target sample size into a per-row sampling rate for a
+// dataset of n rows, clamped to [0, 1].
+func Rate(target, n int) float64 {
+	if n <= 0 || target >= n {
+		return 1
+	}
+	return float64(target) / float64(n)
+}
+
+func logInvDelta(delta float64) float64 {
+	if delta <= 0 || delta >= 1 {
+		delta = 0.01
+	}
+	return math.Log(1 / delta)
+}

@@ -1,0 +1,40 @@
+package sketch
+
+import "hash/fnv"
+
+// splitmix64 is the SplitMix64 finalizer, a fast 64-bit mixer with full
+// avalanche. It underlies all seed derivation and value hashing so that
+// sketches are deterministic functions of (seed, data) with no dependence
+// on iteration order or partitioning.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString hashes a string with FNV-1a 64 and a final mix.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return splitmix64(h.Sum64())
+}
+
+// PartitionSeed derives the sampling seed for one partition from the
+// query seed and the partition's stable table ID. Replaying the same
+// query on the same partition reproduces the identical sample (paper
+// §5.8); distinct partitions get independent streams.
+func PartitionSeed(seed uint64, tableID string) uint64 {
+	return splitmix64(seed ^ hashString(tableID))
+}
+
+// hashValueBits hashes raw 64-bit value bits with the query-independent
+// mixer; used by HyperLogLog and bottom-k sketches where the hash must be
+// a pure function of the value so that merges across partitions agree.
+func hashValueBits(x uint64) uint64 { return splitmix64(x ^ 0x5851f42d4c957f2d) }
+
+// hashRowKey hashes a (partition, row) pair with a seed; used by bottom-k
+// row sampling where each row needs a uniform, reproducible priority.
+func hashRowKey(seed uint64, tableID string, row int) uint64 {
+	return splitmix64(seed ^ hashString(tableID) ^ uint64(row)*0x9e3779b97f4a7c15)
+}

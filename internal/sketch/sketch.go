@@ -1,0 +1,72 @@
+// Package sketch implements Hillview's vizketches: mergeable summaries
+// whose parameters derive from a target display resolution (paper §4).
+//
+// A vizketch is a pair of functions (summarize, merge) satisfying
+//
+//	summarize(D1 ⊎ D2) = merge(summarize(D1), summarize(D2))
+//
+// where summaries are small — their size depends on the description
+// length of the visualization (pixels, buckets, colors), never on the
+// dataset size. The engine (internal/engine) runs Summarize on every
+// partition in parallel and folds results up an execution tree with
+// Merge; because Merge is associative and commutative with Zero as
+// identity, partial results can be propagated in any order, which is
+// what enables progressive visualization (paper §5.3).
+//
+// Randomized sketches take an explicit Seed and derive per-partition
+// seeds from the partition's table ID, so re-running a sketch on the
+// same partition is bit-identical. This is the determinism requirement
+// of the fault-tolerance design (paper §5.8).
+package sketch
+
+import "repro/internal/table"
+
+// Result is a mergeable summary value. Concrete result types are plain
+// exported-field structs registered with encoding/gob (see wire.go) so
+// they can cross the cluster RPC boundary. Results are immutable once
+// returned: Merge must not modify its arguments.
+type Result any
+
+// Sketch is a mergeable summarization method. Implementations are plain
+// data (exported configuration fields only) so they serialize to remote
+// workers, and their methods are pure: no shared state, no goroutines —
+// the engine owns concurrency (paper §5.5: vizketch authors "do not have
+// to worry about concurrency, communication, or fault-tolerance").
+type Sketch interface {
+	// Name identifies the sketch and its parameters; two sketches with
+	// equal Name must compute identical results on identical data.
+	Name() string
+	// Zero returns the identity element for Merge: the summary of an
+	// empty dataset.
+	Zero() Result
+	// Summarize computes the summary of one table partition.
+	Summarize(t *table.Table) (Result, error)
+	// Merge combines two summaries. It must be associative, commutative,
+	// have Zero as identity, and must not mutate a or b.
+	Merge(a, b Result) (Result, error)
+}
+
+// Cacheable marks deterministic sketches whose results the engine may
+// store in the computation cache (paper §5.4: "useful for mergeable
+// summaries that provide auxiliary functionality, such as column
+// statistics, which are used repeatedly and are deterministic").
+type Cacheable interface {
+	Sketch
+	// CacheKey returns the cache key; sketches with equal CacheKey on
+	// the same dataset always produce equal results.
+	CacheKey() string
+}
+
+// MergeAll folds a list of results with the sketch's Merge, starting
+// from Zero. Convenience for tests and single-node paths.
+func MergeAll(sk Sketch, results ...Result) (Result, error) {
+	acc := sk.Zero()
+	for _, r := range results {
+		var err error
+		acc, err = sk.Merge(acc, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

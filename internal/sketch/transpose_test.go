@@ -1,0 +1,60 @@
+package sketch
+
+import (
+	"testing"
+)
+
+func TestHistogram2DTranspose(t *testing.T) {
+	tbl := genTable("tp", 5000, 71)
+	x, y := hist2dSpec()
+	res, err := NewNormalizedStackedSketch("x", "cat", x, y).Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.(*Histogram2D)
+	tr := h.Transpose()
+
+	if tr.X.Count != h.Y.Count || tr.Y.Count != h.X.Count {
+		t.Fatalf("geometry: %dx%d -> %dx%d", h.X.Count, h.Y.Count, tr.X.Count, tr.Y.Count)
+	}
+	// Cell (xi, yi) moves to (yi, xi).
+	for xi := 0; xi < h.X.Count; xi++ {
+		for yi := 0; yi < h.Y.Count; yi++ {
+			if h.At(xi, yi) != tr.At(yi, xi) {
+				t.Fatalf("cell (%d,%d) lost in transpose", xi, yi)
+			}
+		}
+	}
+	// Row conservation: every input row lands somewhere in the output.
+	var hTotal, trTotal int64
+	for _, c := range h.Counts {
+		hTotal += c
+	}
+	for _, c := range tr.Counts {
+		trTotal += c
+	}
+	if hTotal != trTotal {
+		t.Errorf("cells: %d != %d", hTotal, trTotal)
+	}
+	var hOther, trOther int64
+	for _, c := range h.YOther {
+		hOther += c
+	}
+	for _, c := range tr.YOther {
+		trOther += c
+	}
+	// Rows that had X but no Y fold into the transposed XMissing.
+	if tr.XMissing != h.XMissing+hOther {
+		t.Errorf("missing accounting: %d != %d + %d", tr.XMissing, h.XMissing, hOther)
+	}
+	if trOther != 0 {
+		t.Errorf("transpose invented YOther rows: %d", trOther)
+	}
+	// Double transpose restores the cell matrix.
+	back := tr.Transpose()
+	for i := range h.Counts {
+		if back.Counts[i] != h.Counts[i] {
+			t.Fatal("double transpose not identity on cells")
+		}
+	}
+}

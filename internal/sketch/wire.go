@@ -1,0 +1,43 @@
+package sketch
+
+import "encoding/gob"
+
+// init registers every sketch and summary type with encoding/gob so that
+// sketches can be shipped to remote workers and summaries shipped back
+// (paper §5.5: a vizketch needs "a serializable type for the summary").
+// Registering here, in the package both sides import, guarantees the
+// root and the workers agree on the wire names.
+func init() {
+	// Summaries.
+	gob.Register(&Histogram{})
+	gob.Register(&Histogram2D{})
+	gob.Register(&Trellis{})
+	gob.Register(&NextKList{})
+	gob.Register(&FindResult{})
+	gob.Register(&SampleSet{})
+	gob.Register(&HeavyHitters{})
+	gob.Register(&DataRange{})
+	gob.Register(&Moments{})
+	gob.Register(&HLL{})
+	gob.Register(&BottomKSet{})
+	gob.Register(&CoMoments{})
+	gob.Register(&TableMeta{})
+
+	// Sketches.
+	gob.Register(&HistogramSketch{})
+	gob.Register(&SampledHistogramSketch{})
+	gob.Register(&CDFSketch{})
+	gob.Register(&Histogram2DSketch{})
+	gob.Register(&TrellisSketch{})
+	gob.Register(&NextKSketch{})
+	gob.Register(&FindTextSketch{})
+	gob.Register(&QuantileSketch{})
+	gob.Register(&MisraGriesSketch{})
+	gob.Register(&SampleHeavyHittersSketch{})
+	gob.Register(&RangeSketch{})
+	gob.Register(&MomentsSketch{})
+	gob.Register(&DistinctCountSketch{})
+	gob.Register(&DistinctBottomKSketch{})
+	gob.Register(&PCASketch{})
+	gob.Register(&MetaSketch{})
+}

@@ -1,0 +1,83 @@
+package spreadsheet
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/sketch"
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+// SaveResult is the summary of the save vizketch: how many rows and
+// files each subtree wrote, plus any per-partition errors. The paper
+// implements saving "through a special vizketch with a summarize
+// function that writes a data record to the repository and returns an
+// error indication, while the merge function combines error
+// indications" (§5.4).
+type SaveResult struct {
+	Rows   int64
+	Files  []string
+	Errors []string
+}
+
+// saveSketch writes each partition's member rows as one CSV file under
+// Dir. It is a sketch like any other, so saving distributes and
+// parallelizes exactly like a histogram.
+type saveSketch struct {
+	Dir string
+}
+
+// Name implements sketch.Sketch.
+func (s *saveSketch) Name() string { return fmt.Sprintf("save(%s)", s.Dir) }
+
+// Zero implements sketch.Sketch.
+func (s *saveSketch) Zero() sketch.Result { return &SaveResult{} }
+
+// Summarize implements sketch.Sketch.
+func (s *saveSketch) Summarize(t *table.Table) (sketch.Result, error) {
+	name := strings.NewReplacer("/", "_", "#", "_", ":", "_").Replace(t.ID())
+	path := filepath.Join(s.Dir, name+".csv")
+	if err := storage.WriteCSV(path, t); err != nil {
+		return &SaveResult{Errors: []string{err.Error()}}, nil
+	}
+	return &SaveResult{Rows: int64(t.NumRows()), Files: []string{path}}, nil
+}
+
+// Merge implements sketch.Sketch.
+func (s *saveSketch) Merge(a, b sketch.Result) (sketch.Result, error) {
+	sa, ok1 := a.(*SaveResult)
+	sb, ok2 := b.(*SaveResult)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("spreadsheet: save merge got %T and %T", a, b)
+	}
+	return &SaveResult{
+		Rows:   sa.Rows + sb.Rows,
+		Files:  append(append([]string(nil), sa.Files...), sb.Files...),
+		Errors: append(append([]string(nil), sa.Errors...), sb.Errors...),
+	}, nil
+}
+
+func saveCSV(ctx context.Context, v *View, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	res, err := v.sheet.root.RunSketch(ctx, v.id, &saveSketch{Dir: dir}, nil)
+	if err != nil {
+		return err
+	}
+	sr := res.(*SaveResult)
+	if len(sr.Errors) > 0 {
+		return fmt.Errorf("spreadsheet: save: %s", strings.Join(sr.Errors, "; "))
+	}
+	return nil
+}
+
+func init() {
+	gob.Register(&SaveResult{})
+	gob.Register(&saveSketch{})
+}

@@ -1,0 +1,228 @@
+// Package spreadsheet is Hillview's user-facing layer: tabular views
+// with multi-column sorting, paging, scroll-bar quantiles, free-text
+// search, charts with two-phase execution (preparation computes ranges
+// and sampling rates, rendering runs the vizketch), filtering and zoom,
+// derived columns, heavy hitters, and PCA (paper §3, §5.3).
+//
+// Every operation maps to one or more vizketches executed through the
+// engine root (paper §7.3: vizketches "are the sole way to access data
+// in the system"); the package contains no other data path.
+package spreadsheet
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// Defaults for display geometry (the vizketch parameters derive from
+// these, per §4.2).
+const (
+	// DefaultWidth is the chart width in pixels.
+	DefaultWidth = 600
+	// DefaultHeight is the chart height in pixels.
+	DefaultHeight = 200
+	// DefaultBars bounds histogram bars (≈100 per §1).
+	DefaultBars = 50
+	// DefaultColors is the number of discernible color shades (≈20).
+	DefaultColors = 20
+	// DefaultRows is the tabular page size.
+	DefaultRows = 20
+	// DefaultDelta is the error probability δ for sampled vizketches.
+	DefaultDelta = 0.01
+	// HeatmapCell is the pixel size b of a heat map bin (2–3 px).
+	HeatmapCell = 3
+)
+
+// Sheet is a spreadsheet session over an engine root.
+type Sheet struct {
+	root   *engine.Root
+	seq    atomic.Uint64
+	seedSq atomic.Uint64
+}
+
+// New wraps an engine root.
+func New(root *engine.Root) *Sheet {
+	return &Sheet{root: root}
+}
+
+// Root exposes the underlying engine root.
+func (s *Sheet) Root() *engine.Root { return s.root }
+
+// nextID mints a fresh derived-dataset identifier.
+func (s *Sheet) nextID(kind string) string {
+	return fmt.Sprintf("%s-%d", kind, s.seq.Add(1))
+}
+
+// nextSeed mints a seed for a randomized vizketch; the engine logs the
+// sketch (with its seed) implicitly through determinism of replay.
+func (s *Sheet) nextSeed() uint64 {
+	return 0x9e3779b97f4a7c15 * s.seedSq.Add(1)
+}
+
+// View is one table view (a loaded dataset or a derived selection).
+type View struct {
+	sheet *Sheet
+	id    string
+	meta  *sketch.TableMeta
+}
+
+// Load opens a dataset from a storage source and returns its root view.
+func (s *Sheet) Load(name, source string) (*View, error) {
+	if _, err := s.root.Load(name, source); err != nil {
+		return nil, err
+	}
+	return s.view(name)
+}
+
+// view builds a View and fetches its metadata.
+func (s *Sheet) view(id string) (*View, error) {
+	res, err := s.root.RunSketch(context.Background(), id, &sketch.MetaSketch{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &View{sheet: s, id: id, meta: res.(*sketch.TableMeta)}, nil
+}
+
+// ID returns the view's dataset identifier.
+func (v *View) ID() string { return v.id }
+
+// Schema returns the view schema.
+func (v *View) Schema() *table.Schema { return v.meta.Schema }
+
+// NumRows returns the total row count.
+func (v *View) NumRows() int64 { return v.meta.Rows }
+
+// kindOf resolves a column kind.
+func (v *View) kindOf(col string) (table.Kind, error) {
+	cd, err := v.meta.Schema.Column(col)
+	if err != nil {
+		return table.KindNone, err
+	}
+	return cd.Kind, nil
+}
+
+// --- Selection and derivation (paper §5.6) ---
+
+// FilterExpr derives a view keeping rows that satisfy the predicate
+// expression.
+func (v *View) FilterExpr(predicate string) (*View, error) {
+	id := v.sheet.nextID("filter")
+	if _, err := v.sheet.root.Filter(v.id, id, predicate); err != nil {
+		return nil, err
+	}
+	return v.sheet.view(id)
+}
+
+// Zoom derives a view restricted to a numeric range — the chart
+// mouse-selection zoom.
+func (v *View) Zoom(col string, min, max float64) (*View, error) {
+	id := v.sheet.nextID("zoom")
+	if _, err := v.sheet.root.Apply(v.id, id, engine.FilterRangeOp{Col: col, Min: min, Max: max}); err != nil {
+		return nil, err
+	}
+	return v.sheet.view(id)
+}
+
+// DeriveColumn derives a view with an extra computed column.
+func (v *View) DeriveColumn(name, expression string) (*View, error) {
+	id := v.sheet.nextID("derive")
+	if _, err := v.sheet.root.Derive(v.id, id, name, expression); err != nil {
+		return nil, err
+	}
+	return v.sheet.view(id)
+}
+
+// --- Tabular views (paper §3.3) ---
+
+// TableView fetches the K distinct rows after `from` (nil = start) in
+// the given order, with duplicate counts and scroll position.
+func (v *View) TableView(ctx context.Context, order table.RecordOrder, extra []string, k int, from table.Row, onPartial engine.PartialFunc) (*sketch.NextKList, error) {
+	if k <= 0 {
+		k = DefaultRows
+	}
+	res, err := v.sheet.root.RunSketch(ctx, v.id, &sketch.NextKSketch{Order: order, Extra: extra, K: k, From: from}, onPartial)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*sketch.NextKList), nil
+}
+
+// NextPage pages forward from the last row of the previous page.
+func (v *View) NextPage(ctx context.Context, order table.RecordOrder, extra []string, prev *sketch.NextKList) (*sketch.NextKList, error) {
+	if prev == nil || len(prev.Rows) == 0 {
+		return v.TableView(ctx, order, extra, DefaultRows, nil, nil)
+	}
+	last := prev.Rows[len(prev.Rows)-1]
+	return v.TableView(ctx, order, extra, prev.K, last[:len(order)].Clone(), nil)
+}
+
+// PrevPage pages backward: it is a forward page in the reversed order
+// starting from the first visible row, with the result flipped (the
+// trick §3.3's scrolling uses).
+func (v *View) PrevPage(ctx context.Context, order table.RecordOrder, extra []string, cur *sketch.NextKList) (*sketch.NextKList, error) {
+	if cur == nil || len(cur.Rows) == 0 {
+		return v.TableView(ctx, order, extra, DefaultRows, nil, nil)
+	}
+	first := cur.Rows[0]
+	rev, err := v.TableView(ctx, order.Reversed(), extra, cur.K, first[:len(order)].Clone(), nil)
+	if err != nil {
+		return nil, err
+	}
+	// Flip back into forward order.
+	out := &sketch.NextKList{Order: order, K: cur.K, Total: rev.Total, Before: rev.Total - rev.Before - sumCounts(rev)}
+	for i := len(rev.Rows) - 1; i >= 0; i-- {
+		out.Rows = append(out.Rows, rev.Rows[i])
+		out.Counts = append(out.Counts, rev.Counts[i])
+	}
+	return out, nil
+}
+
+func sumCounts(l *sketch.NextKList) int64 {
+	var n int64
+	for _, c := range l.Counts {
+		n += c
+	}
+	return n
+}
+
+// Scroll jumps to quantile q ∈ [0,1] of the sort order (the scroll bar,
+// paper §4.3): a quantile vizketch finds the target row, then a next-K
+// fetch renders the page starting there.
+func (v *View) Scroll(ctx context.Context, order table.RecordOrder, extra []string, k int, q float64, pixels int) (*sketch.NextKList, error) {
+	if pixels <= 0 {
+		pixels = DefaultHeight
+	}
+	qs := &sketch.QuantileSketch{
+		Order:      order,
+		Extra:      extra,
+		SampleSize: sketch.QuantileSampleSize(pixels, DefaultDelta),
+		Seed:       v.sheet.nextSeed(),
+	}
+	res, err := v.sheet.root.RunSketch(ctx, v.id, qs, nil)
+	if err != nil {
+		return nil, err
+	}
+	row := res.(*sketch.SampleSet).Quantile(q, order)
+	var from table.Row
+	if row != nil {
+		from = row[:len(order)].Clone()
+	}
+	return v.TableView(ctx, order, extra, k, from, nil)
+}
+
+// Find locates the next row matching a text criterion after `from`.
+func (v *View) Find(ctx context.Context, col, pattern string, kind sketch.MatchKind, caseSensitive bool, order table.RecordOrder, extra []string, from table.Row) (*sketch.FindResult, error) {
+	res, err := v.sheet.root.RunSketch(ctx, v.id, &sketch.FindTextSketch{
+		Col: col, Pattern: pattern, Kind: kind, CaseSensitive: caseSensitive,
+		Order: order, Extra: extra, From: from,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*sketch.FindResult), nil
+}

@@ -1,0 +1,401 @@
+package spreadsheet
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/flights"
+	"repro/internal/sketch"
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+func init() { flights.Register() }
+
+func testSheet(t *testing.T, rows int) (*Sheet, *View) {
+	t.Helper()
+	root := engine.NewRoot(storage.NewLoader(engine.Config{AggregationWindow: -1}, 0))
+	s := New(root)
+	v, err := s.Load("fl", "flights:rows="+itoa(rows)+",parts=4,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, v
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestLoadAndMeta(t *testing.T) {
+	_, v := testSheet(t, 5000)
+	if v.NumRows() != 5000 {
+		t.Fatalf("rows = %d", v.NumRows())
+	}
+	if v.Schema().ColumnIndex("Carrier") < 0 {
+		t.Error("schema missing Carrier")
+	}
+	if _, err := v.kindOf("DepDelay"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTabularPagingRoundTrip(t *testing.T) {
+	_, v := testSheet(t, 3000)
+	ctx := context.Background()
+	order := table.Asc("Distance").Then("FlightNum", true)
+	extra := []string{"Carrier"}
+
+	page1, err := v.TableView(ctx, order, extra, 15, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1.Rows) != 15 {
+		t.Fatalf("page1 rows = %d", len(page1.Rows))
+	}
+	page2, err := v.NextPage(ctx, order, extra, page1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page2.Rows) == 0 {
+		t.Fatal("page2 empty")
+	}
+	cmp := order.RowComparator()
+	if cmp(page2.Rows[0][:2], page1.Rows[len(page1.Rows)-1][:2]) <= 0 {
+		t.Error("page2 must start after page1")
+	}
+	// Page back: we should see page-1 rows again (the tail of them).
+	back, err := v.PrevPage(ctx, order, extra, page2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) == 0 {
+		t.Fatal("back page empty")
+	}
+	if !back.Rows[len(back.Rows)-1].Equal(page1.Rows[len(page1.Rows)-1]) {
+		t.Error("paging back did not return to page 1's last row")
+	}
+	// Rows are in forward order after the flip.
+	for i := 1; i < len(back.Rows); i++ {
+		if cmp(back.Rows[i-1], back.Rows[i]) > 0 {
+			t.Fatal("PrevPage result not in forward order")
+		}
+	}
+}
+
+func TestScroll(t *testing.T) {
+	_, v := testSheet(t, 4000)
+	ctx := context.Background()
+	order := table.Asc("Distance")
+	mid, err := v.Scroll(ctx, order, nil, 10, 0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mid.Rows) == 0 {
+		t.Fatal("scroll returned nothing")
+	}
+	// The page should start around the median: Before ≈ half of Total.
+	frac := float64(mid.Before) / float64(mid.Total)
+	if math.Abs(frac-0.5) > 0.1 {
+		t.Errorf("scroll(0.5) landed at rank %.2f", frac)
+	}
+	// Scroll to the top behaves like the first page.
+	top, err := v.Scroll(ctx, order, nil, 10, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Before > mid.Before {
+		t.Error("scroll(0) should land before scroll(0.5)")
+	}
+}
+
+func TestFindFlow(t *testing.T) {
+	_, v := testSheet(t, 3000)
+	ctx := context.Background()
+	order := table.Asc("FlightDate").Then("FlightNum", true)
+	res, err := v.Find(ctx, "Origin", "sfo", sketch.MatchExact, false, order, []string{"Origin"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Match == nil {
+		t.Fatal("SFO not found")
+	}
+	// Find-next advances.
+	res2, err := v.Find(ctx, "Origin", "sfo", sketch.MatchExact, false, order, []string{"Origin"}, res.Match[:len(order)])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Match != nil && order.RowComparator()(res2.Match, res.Match) <= 0 {
+		t.Error("find-next did not advance")
+	}
+	if res2.MatchesBefore == 0 {
+		t.Error("MatchesBefore should count the first hit")
+	}
+}
+
+func TestHistogramTwoPhase(t *testing.T) {
+	s, v := testSheet(t, 30000)
+	ctx := context.Background()
+	// Height 30 px gives a sample target below 30k rows, so sampling
+	// engages (the target is display-derived, not data-derived).
+	hv, err := v.Histogram(ctx, "DepDelay", ChartOptions{Bars: 40, Height: 30, WithCDF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.Hist == nil || hv.CDF == nil || hv.Range == nil {
+		t.Fatal("incomplete histogram view")
+	}
+	if len(hv.Hist.Counts) != 40 {
+		t.Errorf("bars = %d", len(hv.Hist.Counts))
+	}
+	if hv.Hist.SampleRate >= 1 {
+		t.Error("histogram should sample: display-derived target < 30k rows")
+	}
+	if hv.Hist.OutOfRange != 0 {
+		t.Errorf("range-prepared histogram saw %d out-of-range rows", hv.Hist.OutOfRange)
+	}
+	// The preparation range is cached: a second histogram reuses it.
+	hits0, _ := s.Root().Cache().Stats()
+	if _, err := v.Histogram(ctx, "DepDelay", ChartOptions{Bars: 20}); err != nil {
+		t.Fatal(err)
+	}
+	hits1, _ := s.Root().Cache().Stats()
+	if hits1 <= hits0 {
+		t.Error("second histogram did not hit the range cache")
+	}
+	// Exact mode.
+	ev, err := v.Histogram(ctx, "DepDelay", ChartOptions{Bars: 10, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Hist.SampleRate != 1 {
+		t.Error("exact histogram sampled")
+	}
+	if got := ev.Hist.TotalCount() + ev.Hist.Missing; got != 30000 {
+		t.Errorf("exact histogram accounts %d rows", got)
+	}
+}
+
+func TestHistogramOnStrings(t *testing.T) {
+	_, v := testSheet(t, 10000)
+	hv, err := v.Histogram(context.Background(), "Carrier", ChartOptions{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hv.Buckets.ExactValues {
+		t.Error("20 carriers should get exact per-value buckets")
+	}
+	if hv.Buckets.Count != len(flights.Carriers) {
+		t.Errorf("buckets = %d", hv.Buckets.Count)
+	}
+	// Zipf: first carrier dominates.
+	if hv.Hist.Counts[hv.Buckets.IndexString("WN")] != hv.Hist.MaxCount() {
+		t.Error("WN should dominate")
+	}
+}
+
+func TestStackedAndHeatmapAndTrellis(t *testing.T) {
+	_, v := testSheet(t, 20000)
+	ctx := context.Background()
+	st, err := v.StackedHistogram(ctx, "DepDelay", "Carrier", false, ChartOptions{Bars: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result.X.Count != 20 || st.Result.Y.Count == 0 {
+		t.Errorf("stacked geometry %dx%d", st.Result.X.Count, st.Result.Y.Count)
+	}
+	norm, err := v.StackedHistogram(ctx, "DepDelay", "Carrier", true, ChartOptions{Bars: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Result.SampleRate != 1 {
+		t.Error("normalized stacked histogram must not sample")
+	}
+	hm, err := v.Heatmap(ctx, "DepDelay", "Distance", ChartOptions{Width: 300, Height: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.Result.X.Count != 100 || hm.Result.Y.Count != 50 {
+		t.Errorf("heatmap bins %dx%d", hm.Result.X.Count, hm.Result.Y.Count)
+	}
+	tr, err := v.Trellis(ctx, "Carrier", "DepDelay", "Distance", 4, ChartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Result.Plots) == 0 {
+		t.Error("empty trellis")
+	}
+}
+
+func TestFilterZoomDerive(t *testing.T) {
+	_, v := testSheet(t, 10000)
+	ctx := context.Background()
+	ua, err := v.FilterExpr(`Carrier == "UA"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ua.NumRows() == 0 || ua.NumRows() >= v.NumRows() {
+		t.Errorf("UA filter rows = %d of %d", ua.NumRows(), v.NumRows())
+	}
+	zoomed, err := v.Zoom("DepDelay", 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, err := zoomed.Histogram(ctx, "DepDelay", ChartOptions{Exact: true, Bars: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.Range.Min < 0 || hv.Range.Max > 60 {
+		t.Errorf("zoom range [%g, %g]", hv.Range.Min, hv.Range.Max)
+	}
+	derived, err := v.DeriveColumn("Slack", "ArrDelay - DepDelay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.Schema().ColumnIndex("Slack") < 0 {
+		t.Error("derived column missing from schema")
+	}
+	if _, err := derived.ColumnSummary(ctx, "Slack"); err != nil {
+		t.Error(err)
+	}
+	// Derivation chains survive engine-level replay.
+	derived.sheet.root.DropAll()
+	if _, err := derived.Histogram(ctx, "Slack", ChartOptions{Exact: true, Bars: 5}); err != nil {
+		t.Fatalf("replayed derived histogram: %v", err)
+	}
+}
+
+func TestAnalyses(t *testing.T) {
+	_, v := testSheet(t, 20000)
+	ctx := context.Background()
+	hh, err := v.HeavyHitters(ctx, "Carrier", 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hh) == 0 || hh[0].Value.S != "WN" {
+		t.Errorf("heavy hitters = %+v", hh)
+	}
+	hhs, err := v.HeavyHitters(ctx, "Carrier", 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hhs {
+		if h.Value.S == "WN" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sampled heavy hitters missed WN")
+	}
+	dc, err := v.DistinctCount(ctx, "Carrier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dc-float64(len(flights.Carriers))) > 2 {
+		t.Errorf("distinct carriers = %v", dc)
+	}
+	ms, err := v.ColumnSummary(ctx, "Distance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Count == 0 || ms.Min < 0 || ms.Max <= ms.Min {
+		t.Errorf("summary = %+v", ms)
+	}
+}
+
+func TestPCAFlow(t *testing.T) {
+	_, v := testSheet(t, 10000)
+	ctx := context.Background()
+	// DepDelay and ArrDelay are correlated by construction.
+	p, err := v.PCA(ctx, []string{"DepDelay", "ArrDelay", "Distance"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Eigenvalues) != 2 || p.Eigenvalues[0] < p.Eigenvalues[1] {
+		t.Fatalf("eigenvalues = %v", p.Eigenvalues)
+	}
+	if p.Eigenvalues[0] < 1.5 {
+		t.Errorf("top eigenvalue %v should capture the delay correlation", p.Eigenvalues[0])
+	}
+	proj, err := v.ProjectPCA(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Schema().ColumnIndex("PC0") < 0 || proj.Schema().ColumnIndex("PC1") < 0 {
+		t.Error("projected columns missing")
+	}
+	if _, err := proj.ColumnSummary(ctx, "PC0"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	_, v := testSheet(t, 1000)
+	ua, err := v.FilterExpr(`Carrier == "UA"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "out")
+	if err := ua.SaveCSV(context.Background(), dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no files written")
+	}
+	// Files reload to the same number of rows.
+	var total int
+	for _, e := range entries {
+		tt, err := storage.ReadCSV(filepath.Join(dir, e.Name()), "back", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += tt.NumRows()
+	}
+	if int64(total) != ua.NumRows() {
+		t.Errorf("saved %d rows, view has %d", total, ua.NumRows())
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, v := testSheet(t, 100)
+	ctx := context.Background()
+	if _, err := v.Histogram(ctx, "NoSuchCol", ChartOptions{}); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := v.FilterExpr("syntax("); err == nil {
+		t.Error("bad filter should fail")
+	}
+	if _, err := v.PCA(ctx, []string{"Carrier"}, 1); err == nil {
+		t.Error("PCA over strings should fail")
+	}
+	if _, err := v.Zoom("Carrier", 0, 1); err == nil {
+		t.Error("zoom on string column should fail")
+	}
+	s := New(engine.NewRoot(storage.NewLoader(engine.Config{}, 0)))
+	if _, err := s.Load("x", "nosuch:source"); err == nil {
+		t.Error("bad source should fail")
+	}
+	if !strings.Contains((&saveSketch{Dir: "/x"}).Name(), "save") {
+		t.Error("save sketch name")
+	}
+}

@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/table"
+)
+
+// DefaultTTL is how long unused cached data survives (paper §5.4: "the
+// cache purges entries not used for a while (currently 2 hours)").
+const DefaultTTL = 2 * time.Hour
+
+// DataCache is the in-memory cache of raw data read from repositories
+// (paper §5.4). It is organized by (source, column) "since vizketches
+// tend to operate on relatively few columns": a histogram over two
+// columns of a 110-column file caches two columns, not the file.
+//
+// Everything in the cache is disposable soft state: a miss is answered
+// by re-reading the immutable source.
+type DataCache struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	now     func() time.Time
+	columns map[dcKey]*dcEntry
+	hits    int64
+	misses  int64
+}
+
+type dcKey struct {
+	source string
+	column string
+}
+
+type dcEntry struct {
+	col      table.Column
+	lastUsed time.Time
+}
+
+// NewDataCache builds a cache with the given TTL (0 = DefaultTTL).
+func NewDataCache(ttl time.Duration) *DataCache {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &DataCache{
+		ttl:     ttl,
+		now:     time.Now,
+		columns: make(map[dcKey]*dcEntry),
+	}
+}
+
+// SetClock replaces the time source; tests use it to drive TTL expiry.
+func (c *DataCache) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// GetColumn returns the cached column for (source, name), refreshing its
+// last-used time.
+func (c *DataCache) GetColumn(source, name string) (table.Column, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.columns[dcKey{source, name}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e.lastUsed = c.now()
+	c.hits++
+	return e.col, true
+}
+
+// PutColumn stores a column.
+func (c *DataCache) PutColumn(source, name string, col table.Column) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.columns[dcKey{source, name}] = &dcEntry{col: col, lastUsed: c.now()}
+}
+
+// Purge evicts entries unused for longer than the TTL and returns how
+// many were dropped.
+func (c *DataCache) Purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cutoff := c.now().Add(-c.ttl)
+	dropped := 0
+	for k, e := range c.columns {
+		if e.lastUsed.Before(cutoff) {
+			delete(c.columns, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Invalidate drops every column of a source.
+func (c *DataCache) Invalidate(source string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.columns {
+		if k.source == source {
+			delete(c.columns, k)
+		}
+	}
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *DataCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached columns.
+func (c *DataCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.columns)
+}
+
+// CachedHVCColumns reads the named columns of an HVC file through the
+// cache: cached columns are reused, missing ones are read from disk with
+// a single pass and inserted.
+func CachedHVCColumns(c *DataCache, path, id string, cols []string) (*table.Table, error) {
+	var need []string
+	have := make(map[string]table.Column)
+	for _, name := range cols {
+		if col, ok := c.GetColumn(path, name); ok {
+			have[name] = col
+		} else {
+			need = append(need, name)
+		}
+	}
+	var rows int
+	if len(need) > 0 {
+		t, err := ReadHVCColumns(path, id, need)
+		if err != nil {
+			return nil, err
+		}
+		rows = t.Members().Max()
+		for _, name := range need {
+			col := t.MustColumn(name)
+			c.PutColumn(path, name, col)
+			have[name] = col
+		}
+	}
+	// Assemble the table in requested column order.
+	descs := make([]table.ColumnDesc, len(cols))
+	outCols := make([]table.Column, len(cols))
+	for i, name := range cols {
+		col := have[name]
+		descs[i] = table.ColumnDesc{Name: name, Kind: col.Kind()}
+		outCols[i] = col
+		rows = col.Len()
+	}
+	return table.New(id, table.NewSchema(descs...), outCols, table.FullMembership(rows)), nil
+}

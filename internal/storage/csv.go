@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/table"
+)
+
+func parseInUTC(layout, s string) (int64, error) {
+	t, err := time.ParseInLocation(layout, s, time.UTC)
+	if err != nil {
+		return 0, err
+	}
+	return t.UnixMilli(), nil
+}
+
+// ReadCSV loads a CSV file with a header row. When schema is nil it is
+// inferred from the first InferenceSample rows. The table ID should be
+// stable for the source (typically the file path) so that sampling seeds
+// and cache keys survive reloads.
+func ReadCSV(path, id string, schema *table.Schema) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSVFrom(f, id, schema)
+}
+
+// ReadCSVFrom is ReadCSV over any reader.
+func ReadCSVFrom(r io.Reader, id string, schema *table.Schema) (*table.Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: csv header: %w", err)
+	}
+	names := append([]string(nil), header...)
+
+	var rows [][]string
+	if schema == nil {
+		// Buffer a sample to infer kinds.
+		for len(rows) < InferenceSample {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("storage: csv: %w", err)
+			}
+			rows = append(rows, append([]string(nil), rec...))
+		}
+		cols := make([]table.ColumnDesc, len(names))
+		for i, name := range names {
+			samples := make([]string, len(rows))
+			for j, row := range rows {
+				if i < len(row) {
+					samples[j] = row[i]
+				}
+			}
+			cols[i] = table.ColumnDesc{Name: name, Kind: InferKind(samples)}
+		}
+		schema = table.NewSchema(cols...)
+	} else if schema.NumColumns() != len(names) {
+		return nil, fmt.Errorf("storage: csv has %d columns, schema %d", len(names), schema.NumColumns())
+	}
+
+	b := table.NewBuilder(schema, 1024)
+	appendRec := func(rec []string) {
+		row := make(table.Row, schema.NumColumns())
+		for i := range row {
+			if i < len(rec) {
+				row[i] = ParseValue(rec[i], schema.Columns[i].Kind)
+			} else {
+				row[i] = table.MissingValue(schema.Columns[i].Kind)
+			}
+		}
+		b.AppendRow(row)
+	}
+	for _, rec := range rows {
+		appendRec(rec)
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: csv: %w", err)
+		}
+		appendRec(rec)
+	}
+	return b.Freeze(id), nil
+}
+
+// WriteCSV stores a table's member rows as CSV with a header row. It is
+// the "save derived table" path of the paper (§5.4).
+func WriteCSV(path string, t *table.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteCSVTo(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteCSVTo writes CSV to any writer.
+func WriteCSVTo(w io.Writer, t *table.Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return err
+	}
+	rec := make([]string, t.Schema().NumColumns())
+	var werr error
+	t.Members().Iterate(func(row int) bool {
+		for c := range rec {
+			rec[c] = t.ColumnAt(c).Value(row).String()
+		}
+		if err := cw.Write(rec); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}

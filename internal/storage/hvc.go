@@ -1,0 +1,367 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/table"
+)
+
+// The HVC format is this repository's columnar binary file format — the
+// stand-in for ORC/Parquet in the paper's storage list (§3.5). Its one
+// essential property is the one the data cache exploits: columns are
+// independently addressable, so a vizketch touching two columns of a
+// 110-column table reads two column blocks, not the whole file.
+//
+// Layout (all integers little-endian; uvarint/varint are Go's
+// encoding/binary varints):
+//
+//	magic   "HVC1"
+//	numCols uint32
+//	numRows uint64
+//	numCols × { nameLen uvarint, name bytes, kind byte }
+//	numCols × { offset uint64 }      // absolute file offset of block
+//	numCols × column block
+//
+// Column block:
+//
+//	hasMissing byte
+//	[missing bitmap: ceil(rows/64) × uint64]   // when hasMissing
+//	payload:
+//	  int/date: rows × varint (zigzag)
+//	  double:   rows × 8-byte IEEE
+//	  string:   dictLen uvarint, dict entries {len uvarint, bytes},
+//	            rows × code uvarint
+const hvcMagic = "HVC1"
+
+// WriteHVC stores the member rows of t at path. Filtered views are
+// flattened: the file always holds a dense table.
+func WriteHVC(path string, t *table.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := WriteHVCTo(w, t); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteHVCTo writes the HVC encoding of t's member rows.
+func WriteHVCTo(w io.Writer, t *table.Table) error {
+	schema := t.Schema()
+	rows := t.NumRows()
+
+	// Encode every column block into its own buffer to learn offsets.
+	blocks := make([][]byte, schema.NumColumns())
+	for c := range blocks {
+		var buf bytes.Buffer
+		if err := encodeColumn(&buf, t, c, rows); err != nil {
+			return err
+		}
+		blocks[c] = buf.Bytes()
+	}
+
+	var head bytes.Buffer
+	head.WriteString(hvcMagic)
+	binary.Write(&head, binary.LittleEndian, uint32(schema.NumColumns()))
+	binary.Write(&head, binary.LittleEndian, uint64(rows))
+	for _, cd := range schema.Columns {
+		writeUvarint(&head, uint64(len(cd.Name)))
+		head.WriteString(cd.Name)
+		head.WriteByte(byte(cd.Kind))
+	}
+	offset := uint64(head.Len()) + uint64(8*schema.NumColumns())
+	for _, b := range blocks {
+		binary.Write(&head, binary.LittleEndian, offset)
+		offset += uint64(len(b))
+	}
+	if _, err := w.Write(head.Bytes()); err != nil {
+		return err
+	}
+	for _, b := range blocks {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeColumn(buf *bytes.Buffer, t *table.Table, c, rows int) error {
+	col := t.ColumnAt(c)
+	// Missing bitmap over *output* row positions.
+	missing := table.NewBitset(rows)
+	hasMissing := false
+	pos := 0
+	t.Members().Iterate(func(row int) bool {
+		if col.Missing(row) {
+			missing.Set(pos)
+			hasMissing = true
+		}
+		pos++
+		return true
+	})
+	if hasMissing {
+		buf.WriteByte(1)
+		if err := binary.Write(buf, binary.LittleEndian, missing.Words); err != nil {
+			return err
+		}
+	} else {
+		buf.WriteByte(0)
+	}
+
+	switch col.Kind() {
+	case table.KindInt, table.KindDate:
+		var tmp [binary.MaxVarintLen64]byte
+		t.Members().Iterate(func(row int) bool {
+			var v int64
+			if !col.Missing(row) {
+				v = col.Int(row)
+			}
+			n := binary.PutVarint(tmp[:], v)
+			buf.Write(tmp[:n])
+			return true
+		})
+	case table.KindDouble:
+		var tmp [8]byte
+		t.Members().Iterate(func(row int) bool {
+			var v float64
+			if !col.Missing(row) {
+				v = col.Double(row)
+			}
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+			buf.Write(tmp[:])
+			return true
+		})
+	case table.KindString:
+		// Build a dense output dictionary over member rows.
+		index := map[string]uint64{}
+		var dict []string
+		codes := make([]uint64, 0, rows)
+		t.Members().Iterate(func(row int) bool {
+			var code uint64
+			if !col.Missing(row) {
+				s := col.Str(row)
+				c, ok := index[s]
+				if !ok {
+					c = uint64(len(dict))
+					index[s] = c
+					dict = append(dict, s)
+				}
+				code = c
+			}
+			codes = append(codes, code)
+			return true
+		})
+		writeUvarint(buf, uint64(len(dict)))
+		for _, s := range dict {
+			writeUvarint(buf, uint64(len(s)))
+			buf.WriteString(s)
+		}
+		for _, code := range codes {
+			writeUvarint(buf, code)
+		}
+	default:
+		return fmt.Errorf("storage: hvc cannot encode kind %v", col.Kind())
+	}
+	return nil
+}
+
+type hvcHeader struct {
+	schema  *table.Schema
+	rows    int
+	offsets []uint64
+}
+
+func readHVCHeader(r io.Reader) (*hvcHeader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != hvcMagic {
+		return nil, fmt.Errorf("storage: not an HVC file (magic %q)", magic)
+	}
+	var numCols uint32
+	var numRows uint64
+	if err := binary.Read(br, binary.LittleEndian, &numCols); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &numRows); err != nil {
+		return nil, err
+	}
+	cols := make([]table.ColumnDesc, numCols)
+	for i := range cols {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = table.ColumnDesc{Name: string(name), Kind: table.Kind(kind)}
+	}
+	offsets := make([]uint64, numCols)
+	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+		return nil, err
+	}
+	return &hvcHeader{schema: table.NewSchema(cols...), rows: int(numRows), offsets: offsets}, nil
+}
+
+// ReadHVCSchema returns the schema and row count without reading data.
+func ReadHVCSchema(path string) (*table.Schema, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	h, err := readHVCHeader(bufio.NewReader(f))
+	if err != nil {
+		return nil, 0, err
+	}
+	return h.schema, h.rows, nil
+}
+
+// ReadHVC loads the whole file as a table with the given ID.
+func ReadHVC(path, id string) (*table.Table, error) {
+	return readHVC(path, id, nil)
+}
+
+// ReadHVCColumns loads only the named columns — the columnar access
+// path: each column block is seeked to directly.
+func ReadHVCColumns(path, id string, cols []string) (*table.Table, error) {
+	return readHVC(path, id, cols)
+}
+
+func readHVC(path, id string, cols []string) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	h, err := readHVCHeader(bufio.NewReader(f))
+	if err != nil {
+		return nil, err
+	}
+	want := make([]int, 0, h.schema.NumColumns())
+	if cols == nil {
+		for i := 0; i < h.schema.NumColumns(); i++ {
+			want = append(want, i)
+		}
+	} else {
+		for _, name := range cols {
+			i := h.schema.ColumnIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("storage: hvc %s: no column %q", path, name)
+			}
+			want = append(want, i)
+		}
+	}
+	outCols := make([]table.Column, len(want))
+	outDesc := make([]table.ColumnDesc, len(want))
+	for k, ci := range want {
+		if _, err := f.Seek(int64(h.offsets[ci]), io.SeekStart); err != nil {
+			return nil, err
+		}
+		col, err := decodeColumn(bufio.NewReaderSize(f, 1<<20), h.schema.Columns[ci].Kind, h.rows)
+		if err != nil {
+			return nil, fmt.Errorf("storage: hvc %s column %q: %w", path, h.schema.Columns[ci].Name, err)
+		}
+		outCols[k] = col
+		outDesc[k] = h.schema.Columns[ci]
+	}
+	return table.New(id, table.NewSchema(outDesc...), outCols, table.FullMembership(h.rows)), nil
+}
+
+func decodeColumn(br *bufio.Reader, kind table.Kind, rows int) (table.Column, error) {
+	hasMissing, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	var missing *table.Bitset
+	if hasMissing == 1 {
+		missing = table.NewBitset(rows)
+		if err := binary.Read(br, binary.LittleEndian, missing.Words); err != nil {
+			return nil, err
+		}
+	}
+	switch kind {
+	case table.KindInt, table.KindDate:
+		vals := make([]int64, rows)
+		for i := range vals {
+			v, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return table.NewIntColumn(kind, vals, missing), nil
+	case table.KindDouble:
+		vals := make([]float64, rows)
+		buf := make([]byte, 8*rows)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		return table.NewDoubleColumn(vals, missing), nil
+	case table.KindString:
+		dictLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		dict := make([]string, dictLen)
+		for i := range dict {
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			b := make([]byte, n)
+			if _, err := io.ReadFull(br, b); err != nil {
+				return nil, err
+			}
+			dict[i] = string(b)
+		}
+		vals := make([]string, rows)
+		for i := range vals {
+			code, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if code >= uint64(len(dict)) && !(missing.Get(i) && code == 0) {
+				return nil, fmt.Errorf("code %d out of dictionary range %d", code, len(dict))
+			}
+			if len(dict) > 0 {
+				vals[i] = dict[code]
+			}
+		}
+		return table.NewStringColumn(vals, missing), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %v", kind)
+	}
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}

@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// TestHVCTruncatedFile verifies corrupted files fail cleanly instead of
+// panicking or returning garbage.
+func TestHVCTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	orig := sampleTable(t, "tr", 500)
+	path := filepath.Join(dir, "data.hvc")
+	if err := WriteHVC(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{3, 10, len(blob) / 2, len(blob) - 5} {
+		bad := filepath.Join(dir, "bad.hvc")
+		if err := os.WriteFile(bad, blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadHVC(bad, "bad"); err == nil {
+			t.Errorf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+// TestHVCComputedColumns verifies lazily computed columns (the pattern
+// the flights generator uses for padding) materialize correctly through
+// the writer.
+func TestHVCComputedColumns(t *testing.T) {
+	base := sampleTable(t, "padbase", 200)
+	computed := table.NewComputedColumn(table.KindInt, 200, func(i int) table.Value {
+		return table.IntValue(int64(i * 7 % 13))
+	})
+	orig, err := base.WithColumn("pad", "Pad001", computed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pad.hvc")
+	if err := WriteHVC(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHVC(path, "pad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema().NumColumns() != orig.Schema().NumColumns() {
+		t.Fatalf("columns = %d", got.Schema().NumColumns())
+	}
+	back := got.MustColumn("Pad001")
+	for i := 0; i < 200; i++ {
+		if computed.Int(i) != back.Int(i) {
+			t.Fatalf("pad value differs at %d", i)
+		}
+	}
+}
+
+// TestHVCAllMissingColumn round-trips a column that is missing in every
+// row (empty dictionary case).
+func TestHVCAllMissingColumn(t *testing.T) {
+	schema := table.NewSchema(
+		table.ColumnDesc{Name: "s", Kind: table.KindString},
+		table.ColumnDesc{Name: "d", Kind: table.KindDouble},
+	)
+	b := table.NewBuilder(schema, 10)
+	for i := 0; i < 10; i++ {
+		b.AppendRow(table.Row{table.MissingValue(table.KindString), table.MissingValue(table.KindDouble)})
+	}
+	orig := b.Freeze("allmiss")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.hvc")
+	if err := WriteHVC(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHVC(path, "allmiss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !got.MustColumn("s").Missing(i) || !got.MustColumn("d").Missing(i) {
+			t.Fatal("missing mask lost")
+		}
+	}
+}
+
+// TestCSVQuotedValues round-trips values that stress CSV quoting.
+func TestCSVQuotedValues(t *testing.T) {
+	schema := table.NewSchema(table.ColumnDesc{Name: "s", Kind: table.KindString})
+	b := table.NewBuilder(schema, 4)
+	for _, s := range []string{`comma, inside`, `quote " inside`, "new\nline", `plain`} {
+		b.AppendRow(table.Row{table.StringValue(s)})
+	}
+	orig := b.Freeze("quoted")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.csv")
+	if err := WriteCSV(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(path, "quoted", orig.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := got.Rows()
+	want := orig.Rows()
+	for i := range want {
+		if !rows[i].Equal(want[i]) {
+			t.Errorf("row %d = %v, want %v", i, rows[i], want[i])
+		}
+	}
+}
+
+// TestLoadFileUnknownExtension rejects unsupported formats.
+func TestLoadFileUnknownExtension(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.parquet")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, "x"); err == nil {
+		t.Error("unknown extension should fail")
+	}
+}

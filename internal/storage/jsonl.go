@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// ReadJSONL loads a JSON-lines file (one flat object per line). When
+// schema is nil it is inferred from the first InferenceSample lines:
+// JSON numbers become doubles (ints when every sample is integral),
+// strings that parse as dates become dates, everything else strings.
+func ReadJSONL(path, id string, schema *table.Schema) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONLFrom(f, id, schema)
+}
+
+// ReadJSONLFrom is ReadJSONL over any reader.
+func ReadJSONLFrom(r io.Reader, id string, schema *table.Schema) (*table.Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+
+	var objects []map[string]json.RawMessage
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(line, &obj); err != nil {
+			return nil, fmt.Errorf("storage: jsonl line %d: %w", len(objects)+1, err)
+		}
+		objects = append(objects, obj)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	if schema == nil {
+		schema = inferJSONSchema(objects)
+	}
+	b := table.NewBuilder(schema, len(objects))
+	for _, obj := range objects {
+		row := make(table.Row, schema.NumColumns())
+		for i, cd := range schema.Columns {
+			raw, ok := obj[cd.Name]
+			if !ok || string(raw) == "null" {
+				row[i] = table.MissingValue(cd.Kind)
+				continue
+			}
+			row[i] = parseJSONValue(raw, cd.Kind)
+		}
+		b.AppendRow(row)
+	}
+	return b.Freeze(id), nil
+}
+
+func inferJSONSchema(objects []map[string]json.RawMessage) *table.Schema {
+	limit := len(objects)
+	if limit > InferenceSample {
+		limit = InferenceSample
+	}
+	// Collect field names in first-seen order for determinism.
+	var names []string
+	seen := map[string]bool{}
+	samples := map[string][]string{}
+	for _, obj := range objects[:limit] {
+		for k, raw := range obj {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+			}
+			var s string
+			if err := json.Unmarshal(raw, &s); err != nil {
+				s = string(raw)
+			}
+			if string(raw) != "null" {
+				samples[k] = append(samples[k], s)
+			}
+		}
+	}
+	sort.Strings(names)
+	cols := make([]table.ColumnDesc, len(names))
+	for i, name := range names {
+		cols[i] = table.ColumnDesc{Name: name, Kind: InferKind(samples[name])}
+	}
+	return table.NewSchema(cols...)
+}
+
+func parseJSONValue(raw json.RawMessage, kind table.Kind) table.Value {
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		// Not a JSON string: use the literal text (numbers, booleans).
+		s = string(raw)
+	}
+	return ParseValue(s, kind)
+}
+
+// WriteJSONL stores member rows as JSON lines.
+func WriteJSONL(path string, t *table.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	names := t.Schema().Names()
+	var werr error
+	t.Members().Iterate(func(row int) bool {
+		obj := make(map[string]any, len(names))
+		for c, name := range names {
+			v := t.ColumnAt(c).Value(row)
+			if v.Missing {
+				continue
+			}
+			switch v.Kind {
+			case table.KindInt:
+				obj[name] = v.I
+			case table.KindDouble:
+				obj[name] = v.D
+			default:
+				obj[name] = v.String()
+			}
+		}
+		data, err := json.Marshal(obj)
+		if err != nil {
+			werr = err
+			return false
+		}
+		data = append(data, '\n')
+		if _, err := w.Write(data); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// Hillview reads server logs directly (paper §6 lists "various log
+// formats (e.g., RFC 5424)" among its storage connectors). This reader
+// parses RFC 5424 syslog lines into a fixed schema:
+//
+//	pri:int severity:int facility:int ts:date host:string app:string
+//	procid:string msgid:string message:string
+//
+// Lines that fail to parse become rows of missing values with the raw
+// line preserved in message — raw logs are dirty, and a spreadsheet
+// must load them anyway (§2: no ETL, no ingestion).
+
+// SyslogSchema is the schema produced by ReadSyslog.
+var SyslogSchema = table.NewSchema(
+	table.ColumnDesc{Name: "pri", Kind: table.KindInt},
+	table.ColumnDesc{Name: "severity", Kind: table.KindInt},
+	table.ColumnDesc{Name: "facility", Kind: table.KindInt},
+	table.ColumnDesc{Name: "ts", Kind: table.KindDate},
+	table.ColumnDesc{Name: "host", Kind: table.KindString},
+	table.ColumnDesc{Name: "app", Kind: table.KindString},
+	table.ColumnDesc{Name: "procid", Kind: table.KindString},
+	table.ColumnDesc{Name: "msgid", Kind: table.KindString},
+	table.ColumnDesc{Name: "message", Kind: table.KindString},
+)
+
+// ReadSyslog loads an RFC 5424 log file.
+func ReadSyslog(path, id string) (*table.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSyslogFrom(f, id)
+}
+
+// ReadSyslogFrom is ReadSyslog over any reader.
+func ReadSyslogFrom(r io.Reader, id string) (*table.Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	b := table.NewBuilder(SyslogSchema, 1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		b.AppendRow(parseSyslogLine(line))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Freeze(id), nil
+}
+
+// parseSyslogLine parses one RFC 5424 line:
+//
+//	<PRI>VERSION TIMESTAMP HOSTNAME APP-NAME PROCID MSGID [SD] MSG
+func parseSyslogLine(line string) table.Row {
+	row := make(table.Row, SyslogSchema.NumColumns())
+	for i, cd := range SyslogSchema.Columns {
+		row[i] = table.MissingValue(cd.Kind)
+	}
+	fail := func() table.Row {
+		row[8] = table.StringValue(line) // keep the raw line inspectable
+		return row
+	}
+	if !strings.HasPrefix(line, "<") {
+		return fail()
+	}
+	end := strings.IndexByte(line, '>')
+	if end < 1 {
+		return fail()
+	}
+	pri, err := strconv.Atoi(line[1:end])
+	if err != nil || pri < 0 || pri > 191 {
+		return fail()
+	}
+	rest := line[end+1:]
+	// VERSION must be "1 ".
+	if !strings.HasPrefix(rest, "1 ") {
+		return fail()
+	}
+	rest = rest[2:]
+	fields := strings.SplitN(rest, " ", 6)
+	if len(fields) < 6 {
+		return fail()
+	}
+	ts, host, app, procid, msgid, tail := fields[0], fields[1], fields[2], fields[3], fields[4], fields[5]
+
+	row[0] = table.IntValue(int64(pri))
+	row[1] = table.IntValue(int64(pri % 8))
+	row[2] = table.IntValue(int64(pri / 8))
+	if ts != "-" {
+		if v := ParseValue(normalizeRFC3339(ts), table.KindDate); !v.Missing {
+			row[3] = v
+		}
+	}
+	for i, s := range []string{host, app, procid, msgid} {
+		if s != "-" {
+			row[4+i] = table.StringValue(s)
+		}
+	}
+	row[8] = table.StringValue(stripStructuredData(tail))
+	return row
+}
+
+// normalizeRFC3339 trims fractional seconds and offsets so the shared
+// date parser accepts RFC 5424's RFC 3339 timestamps (the offset is
+// dropped; enterprise logs are normalized to UTC upstream and the
+// spreadsheet treats timestamps as opaque instants).
+func normalizeRFC3339(ts string) string {
+	s := strings.Replace(ts, "T", " ", 1)
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		j := i
+		for j < len(s) && s[j] != 'Z' && s[j] != '+' && s[j] != '-' {
+			j++
+		}
+		s = s[:i] + s[j:]
+	}
+	s = strings.TrimSuffix(s, "Z")
+	if i := strings.LastIndexAny(s, "+-"); i > 10 { // offset, not the date dashes
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// stripStructuredData removes the [SD-ID ...] element(s) preceding the
+// free-form message.
+func stripStructuredData(tail string) string {
+	s := strings.TrimSpace(tail)
+	if strings.HasPrefix(s, "- ") {
+		return s[2:]
+	}
+	if s == "-" {
+		return ""
+	}
+	for strings.HasPrefix(s, "[") {
+		depth := 0
+		i := 0
+		for ; i < len(s); i++ {
+			switch s[i] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			}
+			if depth == 0 {
+				break
+			}
+		}
+		if i == len(s) {
+			return s // unbalanced; keep as-is
+		}
+		s = strings.TrimSpace(s[i+1:])
+	}
+	return s
+}
+
+func init() {
+	// The syslog reader participates in source specs: "syslog:<path>".
+	RegisterScheme("syslog", func(rest, id string, microRows int) ([]*table.Table, error) {
+		t, err := ReadSyslog(rest, id)
+		if err != nil {
+			return nil, fmt.Errorf("storage: syslog: %w", err)
+		}
+		return SplitRows(t, microRows), nil
+	})
+}

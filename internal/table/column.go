@@ -1,0 +1,253 @@
+package table
+
+import "fmt"
+
+// Column is an immutable typed vector with optional missing values.
+//
+// Accessors are partial: Int is valid for KindInt/KindDate columns,
+// Double for any numeric kind, Str for every kind (display form), and
+// Value for every kind. Calling an accessor on an unsupported kind
+// panics — sketches select accessors by Kind up front, so a panic here
+// is always a programming error, not a data error.
+type Column interface {
+	// Kind returns the column's value kind.
+	Kind() Kind
+	// Len returns the number of physical rows (membership sets restrict
+	// which of them are visible).
+	Len() int
+	// Missing reports whether row i holds a missing value.
+	Missing(i int) bool
+	// Int returns row i as int64 (KindInt, KindDate).
+	Int(i int) int64
+	// Double returns row i as float64 (any numeric kind).
+	Double(i int) float64
+	// Str returns the display form of row i.
+	Str(i int) string
+	// Value returns row i as a self-describing Value.
+	Value(i int) Value
+	// Compare orders rows i and j; missing sorts first.
+	Compare(i, j int) int
+}
+
+// IntColumn stores int64 data; it backs both KindInt and KindDate.
+type IntColumn struct {
+	kind    Kind
+	vals    []int64
+	missing *Bitset // nil when the column has no missing values
+}
+
+// NewIntColumn wraps vals as a column of the given kind (KindInt or
+// KindDate). missing may be nil.
+func NewIntColumn(kind Kind, vals []int64, missing *Bitset) *IntColumn {
+	if kind != KindInt && kind != KindDate {
+		panic(fmt.Sprintf("table: NewIntColumn with kind %v", kind))
+	}
+	return &IntColumn{kind: kind, vals: vals, missing: missing}
+}
+
+// Kind implements Column.
+func (c *IntColumn) Kind() Kind { return c.kind }
+
+// Len implements Column.
+func (c *IntColumn) Len() int { return len(c.vals) }
+
+// Missing implements Column.
+func (c *IntColumn) Missing(i int) bool { return c.missing.Get(i) }
+
+// Int implements Column.
+func (c *IntColumn) Int(i int) int64 { return c.vals[i] }
+
+// Double implements Column.
+func (c *IntColumn) Double(i int) float64 { return float64(c.vals[i]) }
+
+// Str implements Column.
+func (c *IntColumn) Str(i int) string { return c.Value(i).String() }
+
+// Value implements Column.
+func (c *IntColumn) Value(i int) Value {
+	if c.missing.Get(i) {
+		return MissingValue(c.kind)
+	}
+	return Value{Kind: c.kind, I: c.vals[i]}
+}
+
+// Compare implements Column.
+func (c *IntColumn) Compare(i, j int) int {
+	mi, mj := c.missing.Get(i), c.missing.Get(j)
+	if mi || mj {
+		return cmpMissing(mi, mj)
+	}
+	return cmpInt(c.vals[i], c.vals[j])
+}
+
+// DoubleColumn stores float64 data (KindDouble).
+type DoubleColumn struct {
+	vals    []float64
+	missing *Bitset
+}
+
+// NewDoubleColumn wraps vals as a KindDouble column. missing may be nil.
+func NewDoubleColumn(vals []float64, missing *Bitset) *DoubleColumn {
+	return &DoubleColumn{vals: vals, missing: missing}
+}
+
+// Kind implements Column.
+func (c *DoubleColumn) Kind() Kind { return KindDouble }
+
+// Len implements Column.
+func (c *DoubleColumn) Len() int { return len(c.vals) }
+
+// Missing implements Column.
+func (c *DoubleColumn) Missing(i int) bool { return c.missing.Get(i) }
+
+// Int implements Column; doubles do not support Int access.
+func (c *DoubleColumn) Int(i int) int64 { panic("table: Int on double column") }
+
+// Double implements Column.
+func (c *DoubleColumn) Double(i int) float64 { return c.vals[i] }
+
+// Str implements Column.
+func (c *DoubleColumn) Str(i int) string { return c.Value(i).String() }
+
+// Value implements Column.
+func (c *DoubleColumn) Value(i int) Value {
+	if c.missing.Get(i) {
+		return MissingValue(KindDouble)
+	}
+	return Value{Kind: KindDouble, D: c.vals[i]}
+}
+
+// Compare implements Column.
+func (c *DoubleColumn) Compare(i, j int) int {
+	mi, mj := c.missing.Get(i), c.missing.Get(j)
+	if mi || mj {
+		return cmpMissing(mi, mj)
+	}
+	return cmpFloat(c.vals[i], c.vals[j])
+}
+
+// StringColumn stores dictionary-encoded strings (paper §6: "String
+// columns use dictionary encoding for compression"). The dictionary is
+// sorted, so code order equals lexicographic order and Compare is an
+// integer comparison.
+type StringColumn struct {
+	dict    []string // sorted, unique
+	codes   []int32  // index into dict; value for missing rows is 0
+	missing *Bitset
+}
+
+// NewStringColumn builds a string column from raw values. Prefer the
+// Builder for bulk loading; this constructor is for tests and small data.
+func NewStringColumn(vals []string, missing *Bitset) *StringColumn {
+	b := newStringBuilder(len(vals))
+	for i, v := range vals {
+		if missing.Get(i) {
+			b.AppendMissing()
+		} else {
+			b.Append(StringValue(v))
+		}
+	}
+	return b.Freeze().(*StringColumn)
+}
+
+// Kind implements Column.
+func (c *StringColumn) Kind() Kind { return KindString }
+
+// Len implements Column.
+func (c *StringColumn) Len() int { return len(c.codes) }
+
+// Missing implements Column.
+func (c *StringColumn) Missing(i int) bool { return c.missing.Get(i) }
+
+// Int implements Column; strings do not support Int access.
+func (c *StringColumn) Int(i int) int64 { panic("table: Int on string column") }
+
+// Double implements Column; strings do not support Double access.
+func (c *StringColumn) Double(i int) float64 { panic("table: Double on string column") }
+
+// Str implements Column.
+func (c *StringColumn) Str(i int) string {
+	if c.missing.Get(i) {
+		return ""
+	}
+	return c.dict[c.codes[i]]
+}
+
+// Value implements Column.
+func (c *StringColumn) Value(i int) Value {
+	if c.missing.Get(i) {
+		return MissingValue(KindString)
+	}
+	return Value{Kind: KindString, S: c.dict[c.codes[i]]}
+}
+
+// Compare implements Column. Because the dictionary is sorted, code
+// comparison is string comparison.
+func (c *StringColumn) Compare(i, j int) int {
+	mi, mj := c.missing.Get(i), c.missing.Get(j)
+	if mi || mj {
+		return cmpMissing(mi, mj)
+	}
+	return int(c.codes[i]) - int(c.codes[j])
+}
+
+// Code returns the dictionary code of row i (valid for non-missing rows).
+func (c *StringColumn) Code(i int) int32 { return c.codes[i] }
+
+// Dict returns the sorted dictionary. Callers must not modify it.
+func (c *StringColumn) Dict() []string { return c.dict }
+
+// DictSize returns the number of distinct non-missing values.
+func (c *StringColumn) DictSize() int { return len(c.dict) }
+
+func cmpMissing(mi, mj bool) int {
+	switch {
+	case mi && mj:
+		return 0
+	case mi:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// ComputedColumn adapts a per-row function into a Column. It backs
+// user-defined map columns (paper §5.6): values are computed on access
+// and never stored, so dropping the table costs nothing and recomputation
+// is the recovery path.
+type ComputedColumn struct {
+	kind Kind
+	n    int
+	fn   func(i int) Value
+}
+
+// NewComputedColumn returns a column of n rows whose value at row i is
+// fn(i). fn must be pure and deterministic (fault-tolerance requires
+// recomputation to yield identical values).
+func NewComputedColumn(kind Kind, n int, fn func(i int) Value) *ComputedColumn {
+	return &ComputedColumn{kind: kind, n: n, fn: fn}
+}
+
+// Kind implements Column.
+func (c *ComputedColumn) Kind() Kind { return c.kind }
+
+// Len implements Column.
+func (c *ComputedColumn) Len() int { return c.n }
+
+// Missing implements Column.
+func (c *ComputedColumn) Missing(i int) bool { return c.fn(i).Missing }
+
+// Int implements Column.
+func (c *ComputedColumn) Int(i int) int64 { return c.fn(i).I }
+
+// Double implements Column.
+func (c *ComputedColumn) Double(i int) float64 { return c.fn(i).Double() }
+
+// Str implements Column.
+func (c *ComputedColumn) Str(i int) string { return c.fn(i).String() }
+
+// Value implements Column.
+func (c *ComputedColumn) Value(i int) Value { return c.fn(i) }
+
+// Compare implements Column.
+func (c *ComputedColumn) Compare(i, j int) int { return c.fn(i).Compare(c.fn(j)) }

@@ -1,0 +1,227 @@
+package table
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// Membership identifies which physical rows belong to a (possibly
+// filtered) table. Derived tables share column storage with their parents
+// and differ only in membership (paper §5.6). Implementations choose a
+// representation by density: full, dense bitmap, or sparse index list.
+//
+// Sample visits a uniform random subset of member rows where each row is
+// included independently with the given probability. Sampling is
+// deterministic in the seed, which is how the engine makes randomized
+// sketches replayable after failures (paper §5.8). It must be efficient:
+// cost proportional to the number of samples plus, for bitmaps, a cheap
+// word-skipping walk — never a full per-row scan.
+type Membership interface {
+	// Size returns the number of member rows.
+	Size() int
+	// Max returns the exclusive upper bound on physical row indexes
+	// (the column length).
+	Max() int
+	// Contains reports whether physical row i is a member.
+	Contains(i int) bool
+	// Iterate visits member rows in increasing order until yield returns
+	// false.
+	Iterate(yield func(i int) bool)
+	// Sample visits a uniform subset of member rows (each included with
+	// probability rate, independently) in increasing order until yield
+	// returns false. rate >= 1 visits every member row.
+	Sample(rate float64, seed uint64, yield func(i int) bool)
+}
+
+// geomSkipper draws geometric gaps so that visiting every rate-th element
+// on average samples each element independently with probability rate.
+type geomSkipper struct {
+	rng     *rand.Rand
+	logOneM float64 // log(1-rate)
+	all     bool
+}
+
+func newGeomSkipper(rate float64, seed uint64) *geomSkipper {
+	if rate >= 1 {
+		return &geomSkipper{all: true}
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return &geomSkipper{
+		rng:     rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		logOneM: math.Log1p(-rate),
+	}
+}
+
+// next returns how many elements to skip before the next sampled element.
+func (g *geomSkipper) next() int {
+	if g.all {
+		return 0
+	}
+	// Geometric(rate): floor(log(U)/log(1-rate)) has the distribution of
+	// the number of failures before the first success.
+	u := g.rng.Float64()
+	for u == 0 {
+		u = g.rng.Float64()
+	}
+	skip := math.Log(u) / g.logOneM
+	if skip >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(skip)
+}
+
+// fullMembership contains rows [0, n).
+type fullMembership struct{ n int }
+
+// FullMembership returns the membership containing all rows of an
+// n-row table.
+func FullMembership(n int) Membership { return fullMembership{n: n} }
+
+func (m fullMembership) Size() int           { return m.n }
+func (m fullMembership) Max() int            { return m.n }
+func (m fullMembership) Contains(i int) bool { return i >= 0 && i < m.n }
+
+func (m fullMembership) Iterate(yield func(i int) bool) {
+	for i := 0; i < m.n; i++ {
+		if !yield(i) {
+			return
+		}
+	}
+}
+
+func (m fullMembership) Sample(rate float64, seed uint64, yield func(i int) bool) {
+	g := newGeomSkipper(rate, seed)
+	for i := g.next(); i < m.n; i += g.next() + 1 {
+		if !yield(i) {
+			return
+		}
+	}
+}
+
+// BitmapMembership is the dense representation: one bit per physical row.
+type BitmapMembership struct {
+	bits *Bitset
+	size int
+}
+
+// NewBitmapMembership wraps a bitset as a membership set.
+func NewBitmapMembership(bits *Bitset) *BitmapMembership {
+	return &BitmapMembership{bits: bits, size: bits.Count()}
+}
+
+// Size implements Membership.
+func (m *BitmapMembership) Size() int { return m.size }
+
+// Max implements Membership.
+func (m *BitmapMembership) Max() int { return m.bits.Len() }
+
+// Contains implements Membership.
+func (m *BitmapMembership) Contains(i int) bool { return m.bits.Get(i) }
+
+// Iterate implements Membership.
+func (m *BitmapMembership) Iterate(yield func(i int) bool) { m.bits.Iterate(yield) }
+
+// Sample implements Membership by walking the bitmap in increasing index
+// order with geometric skips over member positions, skipping whole words
+// by popcount (paper §5.6: "for dense tables we walk randomly the bitmap
+// in increasing index order").
+func (m *BitmapMembership) Sample(rate float64, seed uint64, yield func(i int) bool) {
+	g := newGeomSkipper(rate, seed)
+	skip := g.next()
+	for wi, w := range m.bits.Words {
+		for w != 0 {
+			pc := bits.OnesCount64(w)
+			if skip >= pc {
+				skip -= pc
+				break
+			}
+			// Select the skip-th set bit within this word.
+			for ; skip > 0; skip-- {
+				w &= w - 1
+			}
+			if !yield(wi<<6 + bits.TrailingZeros64(w)) {
+				return
+			}
+			w &= w - 1
+			skip = g.next()
+		}
+	}
+}
+
+// SparseMembership is the sparse representation: a sorted list of member
+// row indexes.
+type SparseMembership struct {
+	rows []int32 // sorted ascending
+	max  int
+}
+
+// NewSparseMembership wraps a sorted index list with the given physical
+// bound.
+func NewSparseMembership(rows []int32, max int) *SparseMembership {
+	return &SparseMembership{rows: rows, max: max}
+}
+
+// Size implements Membership.
+func (m *SparseMembership) Size() int { return len(m.rows) }
+
+// Max implements Membership.
+func (m *SparseMembership) Max() int { return m.max }
+
+// Contains implements Membership via binary search.
+func (m *SparseMembership) Contains(i int) bool {
+	lo, hi := 0, len(m.rows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(m.rows[mid]) < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(m.rows) && int(m.rows[lo]) == i
+}
+
+// Iterate implements Membership.
+func (m *SparseMembership) Iterate(yield func(i int) bool) {
+	for _, r := range m.rows {
+		if !yield(int(r)) {
+			return
+		}
+	}
+}
+
+// Sample implements Membership with geometric skips over the index list.
+func (m *SparseMembership) Sample(rate float64, seed uint64, yield func(i int) bool) {
+	g := newGeomSkipper(rate, seed)
+	for i := g.next(); i < len(m.rows); i += g.next() + 1 {
+		if !yield(int(m.rows[i])) {
+			return
+		}
+	}
+}
+
+// FilterMembership evaluates keep over every member row of parent and
+// returns a new membership of the kept rows, choosing the dense bitmap
+// representation when more than 1/32 of physical rows survive and the
+// sparse list otherwise (paper §5.6).
+func FilterMembership(parent Membership, keep func(i int) bool) Membership {
+	var kept []int32
+	parent.Iterate(func(i int) bool {
+		if keep(i) {
+			kept = append(kept, int32(i))
+		}
+		return true
+	})
+	max := parent.Max()
+	if len(kept)*32 >= max && max > 0 {
+		bits := NewBitset(max)
+		for _, r := range kept {
+			bits.Set(int(r))
+		}
+		return NewBitmapMembership(bits)
+	}
+	return NewSparseMembership(kept, max)
+}
