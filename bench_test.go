@@ -248,6 +248,217 @@ func BenchmarkFig8Servers(b *testing.B) {
 	}
 }
 
+// --- Kernel micro-benchmarks -------------------------------------------
+//
+// The benchmarks below isolate the leaf scan kernels (span iteration,
+// batch bucket indexing, typed column access) that every sketch runs on;
+// BENCH_kernels.json records before/after numbers for the vectorized
+// rewrite. Data is synthesized directly into columnar storage so the
+// numbers measure the scan, not the generator.
+
+// kernelTable builds a table with one int, one double, and one string
+// column of deterministic values (no missing cells unless withMissing).
+func kernelTable(id string, rows int, withMissing bool) *table.Table {
+	ints := make([]int64, rows)
+	doubles := make([]float64, rows)
+	strs := make([]string, 0, 64)
+	for i := 0; i < 64; i++ {
+		strs = append(strs, fmt.Sprintf("val-%02d", i))
+	}
+	codes := make([]string, rows)
+	x := uint64(12345)
+	for i := 0; i < rows; i++ {
+		// SplitMix64-style mix keeps values deterministic and well spread.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		ints[i] = int64(z % 1000000)
+		doubles[i] = float64(z%3000000) / 1000.0
+		codes[i] = strs[z%64]
+	}
+	var miss *table.Bitset
+	if withMissing {
+		miss = table.NewBitset(rows)
+		for i := 0; i < rows; i += 97 {
+			miss.Set(i)
+		}
+	}
+	schema := table.NewSchema(
+		table.ColumnDesc{Name: "i", Kind: table.KindInt},
+		table.ColumnDesc{Name: "d", Kind: table.KindDouble},
+		table.ColumnDesc{Name: "s", Kind: table.KindString},
+	)
+	cols := []table.Column{
+		table.NewIntColumn(table.KindInt, ints, miss),
+		table.NewDoubleColumn(doubles, miss),
+		table.NewStringColumn(codes, miss),
+	}
+	return table.New(id, schema, cols, table.FullMembership(rows))
+}
+
+// kernelMembers returns the table restricted to the named membership
+// shape: "full" keeps all rows, "sparse" keeps ~1% as a sorted list.
+func kernelMembers(t *table.Table, shape string) *table.Table {
+	if shape == "full" {
+		return t
+	}
+	max := t.Members().Max()
+	var rows []int32
+	for i := 0; i < max; i += 101 {
+		rows = append(rows, int32(i))
+	}
+	return table.New(t.ID()+"-sparse", t.Schema(), []table.Column{
+		t.MustColumn("i"), t.MustColumn("d"), t.MustColumn("s"),
+	}, table.NewSparseMembership(rows, max))
+}
+
+func reportRows(b *testing.B, rows int) {
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+}
+
+// BenchmarkKernelHistExact is the headline kernel: an exact histogram
+// over an int column (ISSUE 1 acceptance: ≥2× over the seed per-row
+// path at 10M rows, full membership).
+func BenchmarkKernelHistExact(b *testing.B) {
+	for _, rows := range []int{1000000, 10000000} {
+		t := kernelTable(fmt.Sprintf("kh-%d", rows), rows, false)
+		for _, shape := range []string{"full", "sparse"} {
+			tt := kernelMembers(t, shape)
+			spec := sketch.NumericBuckets(table.KindInt, 0, 1000000, 50)
+			sk := &sketch.HistogramSketch{Col: "i", Buckets: spec}
+			b.Run(fmt.Sprintf("rows=%d/%s", rows, shape), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sk.Summarize(tt); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportRows(b, tt.NumRows())
+			})
+		}
+	}
+}
+
+// BenchmarkKernelHistMissing measures the missing-mask overhead on the
+// exact histogram (1 in 97 rows missing).
+func BenchmarkKernelHistMissing(b *testing.B) {
+	const rows = 1000000
+	t := kernelTable("khm", rows, true)
+	spec := sketch.NumericBuckets(table.KindDouble, 0, 3000, 50)
+	sk := &sketch.HistogramSketch{Col: "d", Buckets: spec}
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Summarize(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+}
+
+// BenchmarkKernelHistSampled measures the sampled histogram scan.
+func BenchmarkKernelHistSampled(b *testing.B) {
+	const rows = 10000000
+	t := kernelTable("khs", rows, false)
+	spec := sketch.NumericBuckets(table.KindDouble, 0, 3000, 50)
+	for _, shape := range []string{"full", "sparse"} {
+		tt := kernelMembers(t, shape)
+		sk := &sketch.SampledHistogramSketch{Col: "d", Buckets: spec, Rate: 0.01, Seed: 42}
+		b.Run(shape, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.Summarize(tt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportRows(b, tt.NumRows())
+		})
+	}
+}
+
+// BenchmarkKernelHeavyHitters measures Misra–Gries over a dictionary
+// string column.
+func BenchmarkKernelHeavyHitters(b *testing.B) {
+	const rows = 1000000
+	t := kernelTable("khh", rows, false)
+	for _, shape := range []string{"full", "sparse"} {
+		tt := kernelMembers(t, shape)
+		sk := &sketch.MisraGriesSketch{Col: "s", K: 16}
+		b.Run(shape, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.Summarize(tt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportRows(b, tt.NumRows())
+		})
+	}
+}
+
+// BenchmarkKernelHist2D measures the two-axis bucket kernel.
+func BenchmarkKernelHist2D(b *testing.B) {
+	const rows = 1000000
+	t := kernelTable("kh2", rows, false)
+	for _, shape := range []string{"full", "sparse"} {
+		tt := kernelMembers(t, shape)
+		sk := &sketch.Histogram2DSketch{
+			XCol: "i", YCol: "d",
+			X: sketch.NumericBuckets(table.KindInt, 0, 1000000, 25),
+			Y: sketch.NumericBuckets(table.KindDouble, 0, 3000, 20),
+		}
+		b.Run(shape, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.Summarize(tt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportRows(b, tt.NumRows())
+		})
+	}
+}
+
+// BenchmarkKernelRange measures the min/max scan kernel.
+func BenchmarkKernelRange(b *testing.B) {
+	const rows = 1000000
+	t := kernelTable("kr", rows, false)
+	sk := &sketch.RangeSketch{Col: "d"}
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Summarize(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+}
+
+// BenchmarkKernelDistinct measures the HyperLogLog scan kernel over the
+// int column.
+func BenchmarkKernelDistinct(b *testing.B) {
+	const rows = 1000000
+	t := kernelTable("kd", rows, false)
+	sk := &sketch.DistinctCountSketch{Col: "i"}
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Summarize(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+}
+
+// BenchmarkKernelShardedScan measures the engine-level sharded leaf
+// scan: one 10M-row partition summarized as concurrent fixed-range
+// chunks merged with the sketch's own Merge.
+func BenchmarkKernelShardedScan(b *testing.B) {
+	const rows = 10000000
+	t := kernelTable("kss", rows, false)
+	spec := sketch.NumericBuckets(table.KindInt, 0, 1000000, 50)
+	sk := &sketch.HistogramSketch{Col: "i", Buckets: spec}
+	ds := engine.NewLocal("kss", []*table.Table{t}, engine.Config{AggregationWindow: -1})
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Sketch(context.Background(), sk, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+}
+
 // BenchmarkFig11Case replays the case-study scripts (Figure 11 machine
 // time).
 func BenchmarkFig11Case(b *testing.B) {

@@ -16,6 +16,16 @@
 //   - internal/spreadsheet — the user-facing operations
 //   - internal/bench — the paper's evaluation, regenerated
 //
+// Leaf scans are vectorized end to end ("as fast as the hardware
+// allows", paper §6): memberships iterate in spans or bulk-decoded row
+// batches, columns expose typed backing storage, sketches run
+// kind-specialized batch kernels, and the engine shards oversized
+// partitions into fixed row-range chunks summarized concurrently and
+// folded with each sketch's own Merge. Batch scans are bit-identical to
+// the retained row-at-a-time reference path — including randomized
+// sketches under a fixed seed, via per-chunk seeds derived from
+// (seed, chunk start). Kernel before/after numbers: BENCH_kernels.json.
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
 // bench_test.go regenerate each evaluation artifact at test scale;

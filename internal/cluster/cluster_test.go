@@ -257,14 +257,17 @@ func TestClusterCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	var saw int32
-	go func() {
-		for atomic.LoadInt32(&saw) == 0 {
-			time.Sleep(50 * time.Microsecond)
-		}
-		cancel()
-	}()
+	// Cancel from inside the partial callback while the worker is still
+	// mid-query (a non-final partial guarantees partitions remain). A
+	// watcher goroutine polling with time.Sleep is racy on coarse-timer
+	// machines, where the whole query can finish before a sleep returns.
 	_, err := cl.Sketch(ctx, "big", &sketch.HistogramSketch{Col: "Distance", Buckets: sketch.NumericBuckets(table.KindDouble, 0, 3000, 10)},
-		func(p engine.Partial) { atomic.StoreInt32(&saw, int32(p.Done)) })
+		func(p engine.Partial) {
+			atomic.StoreInt32(&saw, int32(p.Done))
+			if p.Done >= 1 && p.Done < p.Total {
+				cancel()
+			}
+		})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want canceled", err)
 	}

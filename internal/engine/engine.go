@@ -72,11 +72,34 @@ type Config struct {
 	// AggregationWindow throttles partial emission; negative disables
 	// partials entirely, 0 means the default.
 	AggregationWindow time.Duration
+	// ChunkRows bounds the physical row range summarized by one leaf
+	// scan task: partitions larger than this are sharded into
+	// fixed-range chunks scanned concurrently and folded with the
+	// sketch's own Merge (0 = DefaultChunkRows, negative disables
+	// sharding). Chunk boundaries and per-chunk sampling seeds depend
+	// only on this value, so results are replay-deterministic.
+	ChunkRows int
 }
+
+// DefaultChunkRows is the default leaf-scan chunk size: large enough
+// that per-chunk setup is noise, small enough that one oversized
+// partition still spreads across the thread pool.
+const DefaultChunkRows = 1 << 18
 
 func (c Config) window() time.Duration {
 	if c.AggregationWindow == 0 {
 		return DefaultAggregationWindow
 	}
 	return c.AggregationWindow
+}
+
+func (c Config) chunkRows() int {
+	switch {
+	case c.ChunkRows < 0:
+		return int(^uint(0) >> 1) // sharding disabled
+	case c.ChunkRows == 0:
+		return DefaultChunkRows
+	default:
+		return c.ChunkRows
+	}
 }

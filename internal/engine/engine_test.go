@@ -136,14 +136,16 @@ func TestLocalCancellation(t *testing.T) {
 	ds := NewLocal("c", parts, Config{Parallelism: 2, AggregationWindow: time.Nanosecond})
 	ctx, cancel := context.WithCancel(context.Background())
 	var done atomic.Int32
-	go func() {
-		// Cancel after the first partial arrives.
-		for done.Load() == 0 {
-			time.Sleep(100 * time.Microsecond)
+	// Cancel from inside the partial callback, which runs mid-query while
+	// most partitions are still queued. (A watcher goroutine polling with
+	// time.Sleep is racy: on coarse-timer machines the whole scan can
+	// finish before a 100µs sleep returns.)
+	_, err := ds.Sketch(ctx, histSketch(), func(p Partial) {
+		done.Store(int32(p.Done))
+		if p.Done >= 2 {
+			cancel()
 		}
-		cancel()
-	}()
-	_, err := ds.Sketch(ctx, histSketch(), func(p Partial) { done.Store(int32(p.Done)) })
+	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -48,15 +49,53 @@ func (d *LocalDataSet) parallelism() int {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	if p > len(d.parts) && len(d.parts) > 0 {
-		p = len(d.parts)
-	}
 	return p
 }
 
-// Sketch implements IDataSet. Partition summaries are merged as they
-// complete; partial results are emitted at most once per aggregation
-// window, and cancellation stops dispatch of not-yet-started partitions.
+// leafTask is one unit of leaf-scan work: a whole partition, or one
+// fixed physical-row-range chunk of a partition when the partition
+// exceeds Config.ChunkRows.
+type leafTask struct {
+	part int // index into d.parts, for per-partition progress accounting
+	t    *table.Table
+}
+
+// leafTasks shards the partitions into scan tasks for sk. Chunk tables
+// get the stable ID "<partition>#<start row>", so per-chunk sampling
+// seeds derive from (seed, chunk start) via sketch.PartitionSeed and
+// replaying the same configuration reproduces identical samples (paper
+// §5.8). Sketches that implement sketch.WholePartition are never
+// chunked, and neither are partitions whose member count (not just
+// physical bound) fits one chunk — a heavily filtered partition over a
+// large physical space is one cheap scan, not many empty ones.
+func (d *LocalDataSet) leafTasks(sk sketch.Sketch) []leafTask {
+	chunk := d.cfg.chunkRows()
+	_, whole := sk.(sketch.WholePartition)
+	tasks := make([]leafTask, 0, len(d.parts))
+	for pi, p := range d.parts {
+		max := p.Members().Max()
+		if whole || max <= chunk || p.NumRows() <= chunk {
+			tasks = append(tasks, leafTask{part: pi, t: p})
+			continue
+		}
+		for lo := 0; lo < max; lo += chunk {
+			hi := lo + chunk
+			if hi > max {
+				hi = max
+			}
+			id := p.ID() + "#" + strconv.Itoa(lo)
+			tasks = append(tasks, leafTask{part: pi, t: p.Slice(id, lo, hi)})
+		}
+	}
+	return tasks
+}
+
+// Sketch implements IDataSet. Each partition is scanned as one or more
+// fixed-range chunk tasks (see leafTasks) summarized concurrently by the
+// leaf thread pool; chunk summaries are folded with the sketch's own
+// Merge as they complete. Partial results are emitted at most once per
+// aggregation window with Done counting fully merged partitions, and
+// cancellation stops dispatch of not-yet-started tasks.
 func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial PartialFunc) (sketch.Result, error) {
 	total := len(d.parts)
 	acc := sk.Zero()
@@ -64,19 +103,34 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 		emit(onPartial, Partial{Result: acc, Done: 0, Total: 0})
 		return acc, nil
 	}
+	tasks := d.leafTasks(sk)
+	pending := make([]int, total) // unmerged tasks per partition
+	for _, tk := range tasks {
+		pending[tk.part]++
+	}
 	var (
 		mu       sync.Mutex
-		done     int
+		done     int // fully merged partitions
 		firstErr error
 		wg       sync.WaitGroup
 	)
 	th := newThrottle(d.cfg.window())
-	sem := make(chan struct{}, d.parallelism())
+	p := d.parallelism()
+	if p > len(tasks) {
+		p = len(tasks)
+	}
+	sem := make(chan struct{}, p)
 
 dispatch:
-	for i := range d.parts {
+	for i := range tasks {
 		// Cancellation removes enqueued work (paper §5.3); running
-		// micropartitions finish.
+		// chunks finish. The non-blocking check runs first so that a
+		// cancelled context always wins over a free worker slot.
+		select {
+		case <-ctx.Done():
+			break dispatch
+		default:
+		}
 		select {
 		case <-ctx.Done():
 			break dispatch
@@ -90,10 +144,10 @@ dispatch:
 			break dispatch
 		}
 		wg.Add(1)
-		go func(part *table.Table) {
+		go func(tk leafTask) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			r, err := sk.Summarize(part)
+			r, err := sk.Summarize(tk.t)
 			mu.Lock()
 			defer mu.Unlock()
 			if firstErr != nil {
@@ -109,11 +163,14 @@ dispatch:
 				return
 			}
 			acc = merged
-			done++
+			pending[tk.part]--
+			if pending[tk.part] == 0 {
+				done++
+			}
 			if onPartial != nil && th.allow(done == total) {
 				onPartial(Partial{Result: acc, Done: done, Total: total})
 			}
-		}(d.parts[i])
+		}(tasks[i])
 	}
 	wg.Wait()
 	mu.Lock()

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// shardParts builds partitions whose physical row counts exceed the test
+// chunk size, including filtered (bitmap/sparse membership) partitions.
+func shardParts() []*table.Table {
+	parts := genParts("sh", 3, 10000, 11)
+	// A dense filtered partition (bitmap membership) and a sparse one.
+	dense := parts[1].Filter("sh-p1/f", func(row int) bool {
+		return parts[1].MustColumn("x").Double(row) < 80
+	})
+	sparse := parts[2].Filter("sh-p2/f", func(row int) bool {
+		return row%40 == 0
+	})
+	return []*table.Table{parts[0], dense, sparse}
+}
+
+// TestShardedScanMatchesUnsharded proves that chunked leaf scans fold to
+// the identical result for exact sketches, across membership shapes.
+func TestShardedScanMatchesUnsharded(t *testing.T) {
+	parts := shardParts()
+	whole := NewLocal("w", parts, Config{AggregationWindow: -1, ChunkRows: -1})
+	sharded := NewLocal("w", parts, Config{AggregationWindow: -1, ChunkRows: 512})
+	sketches := []sketch.Sketch{
+		histSketch(),
+		&sketch.RangeSketch{Col: "x"},
+		&sketch.DistinctCountSketch{Col: "g"},
+	}
+	for _, sk := range sketches {
+		want, err := whole.Sketch(context.Background(), sk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.Sketch(context.Background(), sk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: sharded scan differs from unsharded\n got %+v\nwant %+v", sk.Name(), got, want)
+		}
+	}
+}
+
+// TestShardedSampledDeterminism proves that randomized sketches stay
+// replay-deterministic under sharding: per-chunk seeds derive from
+// (seed, chunk start), so the same configuration reproduces the same
+// result, and the total sample size stays consistent with the rate.
+func TestShardedSampledDeterminism(t *testing.T) {
+	parts := shardParts()
+	ds := NewLocal("sd", parts, Config{AggregationWindow: -1, ChunkRows: 777})
+	sk := &sketch.SampledHistogramSketch{
+		Col:     "x",
+		Buckets: sketch.NumericBuckets(table.KindDouble, 0, 100, 10),
+		Rate:    0.2,
+		Seed:    42,
+	}
+	a, err := ds.Sketch(context.Background(), sk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ds.Sketch(context.Background(), sk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("sharded sampled sketch not deterministic across runs")
+	}
+	ha := a.(*sketch.Histogram)
+	var members int64
+	for _, p := range parts {
+		members += int64(p.NumRows())
+	}
+	if ha.SampledRows < int64(float64(members)*0.15) || ha.SampledRows > int64(float64(members)*0.25) {
+		t.Errorf("sampled %d of %d member rows, want ~20%%", ha.SampledRows, members)
+	}
+}
+
+// TestShardedPartialAccounting checks that Done counts fully merged
+// partitions (not chunks) and reaches Total exactly at the end.
+func TestShardedPartialAccounting(t *testing.T) {
+	parts := shardParts()
+	ds := NewLocal("pa", parts, Config{AggregationWindow: 1, ChunkRows: 512})
+	var partials []Partial
+	final, err := ds.Sketch(context.Background(), histSketch(), func(p Partial) {
+		partials = append(partials, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final == nil {
+		t.Fatal("nil result")
+	}
+	if len(partials) == 0 {
+		t.Fatal("no partials emitted")
+	}
+	last := partials[len(partials)-1]
+	if last.Done != len(parts) || last.Total != len(parts) {
+		t.Errorf("final partial Done/Total = %d/%d, want %d/%d", last.Done, last.Total, len(parts), len(parts))
+	}
+	prev := -1
+	for _, p := range partials {
+		if p.Done < prev {
+			t.Errorf("Done regressed: %d after %d", p.Done, prev)
+		}
+		if p.Done > len(parts) {
+			t.Errorf("Done = %d exceeds partition count %d", p.Done, len(parts))
+		}
+		prev = p.Done
+	}
+}
+
+// TestLeafTaskChunkIDs pins the chunk ID scheme ("<partition>#<start>")
+// that per-chunk sampling seeds derive from.
+func TestLeafTaskChunkIDs(t *testing.T) {
+	parts := genParts("ct", 1, 2500, 3)
+	ds := NewLocal("ct", parts, Config{ChunkRows: 1000})
+	tasks := ds.leafTasks(histSketch())
+	if len(tasks) != 3 {
+		t.Fatalf("got %d tasks, want 3", len(tasks))
+	}
+	wantIDs := []string{"ct-p0#0", "ct-p0#1000", "ct-p0#2000"}
+	var rows int
+	for i, tk := range tasks {
+		if tk.t.ID() != wantIDs[i] {
+			t.Errorf("task %d ID = %q, want %q", i, tk.t.ID(), wantIDs[i])
+		}
+		if tk.part != 0 {
+			t.Errorf("task %d part = %d, want 0", i, tk.part)
+		}
+		rows += tk.t.NumRows()
+	}
+	if rows != 2500 {
+		t.Errorf("chunks cover %d rows, want 2500", rows)
+	}
+	// Sharding disabled: one task per partition, original table.
+	off := NewLocal("ct", parts, Config{ChunkRows: -1})
+	if tasks := off.leafTasks(histSketch()); len(tasks) != 1 || tasks[0].t != parts[0] {
+		t.Errorf("ChunkRows<0 should disable sharding, got %d tasks", len(tasks))
+	}
+}
+
+// TestWholePartitionSketchNotChunked checks that per-partition sketches
+// (sketch.WholePartition) bypass chunking: MetaSketch.Leaves must count
+// partitions, never chunks.
+func TestWholePartitionSketchNotChunked(t *testing.T) {
+	parts := genParts("wp", 2, 3000, 5)
+	ds := NewLocal("wp", parts, Config{AggregationWindow: -1, ChunkRows: 500})
+	r, err := ds.Sketch(context.Background(), &sketch.MetaSketch{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := r.(*sketch.TableMeta)
+	if meta.Leaves != 2 {
+		t.Errorf("MetaSketch Leaves = %d under chunking, want 2", meta.Leaves)
+	}
+	if meta.Rows != 6000 {
+		t.Errorf("MetaSketch Rows = %d, want 6000", meta.Rows)
+	}
+}
+
+// TestSparsePartitionNotChunked checks that chunking keys off the
+// member count, not the physical bound: a heavily filtered partition is
+// one cheap scan, not dozens of near-empty ones.
+func TestSparsePartitionNotChunked(t *testing.T) {
+	parts := genParts("sp", 1, 5000, 7)
+	filtered := parts[0].Filter("sp-p0/f", func(row int) bool { return row%100 == 0 })
+	ds := NewLocal("sp", []*table.Table{filtered}, Config{ChunkRows: 500})
+	if tasks := ds.leafTasks(histSketch()); len(tasks) != 1 {
+		t.Errorf("sparse partition (50 members, 5000 physical) split into %d tasks, want 1", len(tasks))
+	}
+	// A dense partition over the same physical space still shards.
+	ds2 := NewLocal("sp2", parts, Config{ChunkRows: 500})
+	if tasks := ds2.leafTasks(histSketch()); len(tasks) != 10 {
+		t.Errorf("dense partition split into %d tasks, want 10", len(tasks))
+	}
+}

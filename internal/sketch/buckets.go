@@ -115,11 +115,7 @@ func (s BucketSpec) Indexer(col table.Column) (func(row int) int, error) {
 			}, nil
 		}
 		// Dictionary fast path: precompute code -> bucket.
-		dict := sc.Dict()
-		codeBucket := make([]int32, len(dict))
-		for c, v := range dict {
-			codeBucket[c] = int32(s.IndexString(v))
-		}
+		codeBucket := s.codeBucketTable(sc)
 		return func(row int) int {
 			if sc.Missing(row) {
 				return -2
@@ -129,6 +125,340 @@ func (s BucketSpec) Indexer(col table.Column) (func(row int) int, error) {
 	default:
 		return nil, fmt.Errorf("sketch: bucket spec kind %v unsupported", s.Kind)
 	}
+}
+
+// BatchIndexer maps many rows to bucket indexes at once. IndexSpan
+// covers a contiguous physical row range; IndexRows a gathered index
+// list. Bucket codes follow the Indexer convention: -2 for missing rows,
+// -1 for out-of-range values, otherwise the bucket number.
+//
+// Implementations are specialized per column representation — direct
+// slice access to int64/float64 values or dictionary codes, with the
+// missing-bitset nil check hoisted out of the loop — so the inner loops
+// run with no per-row closure or interface call. ComputedColumn falls
+// back to the row-at-a-time Indexer.
+type BatchIndexer interface {
+	// IndexSpan fills out[k] with the bucket of row start+k for every
+	// k in [0, end-start). len(out) must be at least end-start.
+	IndexSpan(start, end int, out []int32)
+	// IndexRows fills out[k] with the bucket of rows[k]. len(out) must
+	// be at least len(rows).
+	IndexRows(rows []int32, out []int32)
+}
+
+// numericIndex is the bucket arithmetic of IndexValue with the spec
+// fields hoisted into locals.
+type numericIndex struct {
+	min, max, countF float64
+	count            int32
+}
+
+func newNumericIndex(s BucketSpec) numericIndex {
+	return numericIndex{min: s.Min, max: s.Max, countF: float64(s.Count), count: int32(s.Count)}
+}
+
+func (p numericIndex) index(v float64) int32 {
+	if p.count <= 0 || v < p.min || v > p.max {
+		return -1
+	}
+	if p.max == p.min {
+		return 0
+	}
+	i := int32(p.countF * (v - p.min) / (p.max - p.min))
+	if i >= p.count {
+		i = p.count - 1
+	}
+	return i
+}
+
+// intBatchIndexer buckets an IntColumn through its backing slice.
+type intBatchIndexer struct {
+	vals []int64
+	miss *table.Bitset // nil when no rows are missing
+	p    numericIndex
+}
+
+func (x *intBatchIndexer) IndexSpan(start, end int, out []int32) {
+	vals := x.vals[start:end]
+	out = out[:len(vals)]
+	if x.miss == nil {
+		for k, v := range vals {
+			out[k] = x.p.index(float64(v))
+		}
+		return
+	}
+	for k, v := range vals {
+		if x.miss.Get(start + k) {
+			out[k] = -2
+		} else {
+			out[k] = x.p.index(float64(v))
+		}
+	}
+}
+
+func (x *intBatchIndexer) IndexRows(rows []int32, out []int32) {
+	if x.miss == nil {
+		for k, r := range rows {
+			out[k] = x.p.index(float64(x.vals[r]))
+		}
+		return
+	}
+	for k, r := range rows {
+		if x.miss.Get(int(r)) {
+			out[k] = -2
+		} else {
+			out[k] = x.p.index(float64(x.vals[r]))
+		}
+	}
+}
+
+// doubleBatchIndexer buckets a DoubleColumn through its backing slice.
+type doubleBatchIndexer struct {
+	vals []float64
+	miss *table.Bitset
+	p    numericIndex
+}
+
+func (x *doubleBatchIndexer) IndexSpan(start, end int, out []int32) {
+	vals := x.vals[start:end]
+	out = out[:len(vals)]
+	if x.miss == nil {
+		for k, v := range vals {
+			out[k] = x.p.index(v)
+		}
+		return
+	}
+	for k, v := range vals {
+		if x.miss.Get(start + k) {
+			out[k] = -2
+		} else {
+			out[k] = x.p.index(v)
+		}
+	}
+}
+
+func (x *doubleBatchIndexer) IndexRows(rows []int32, out []int32) {
+	if x.miss == nil {
+		for k, r := range rows {
+			out[k] = x.p.index(x.vals[r])
+		}
+		return
+	}
+	for k, r := range rows {
+		if x.miss.Get(int(r)) {
+			out[k] = -2
+		} else {
+			out[k] = x.p.index(x.vals[r])
+		}
+	}
+}
+
+// stringBatchIndexer buckets a StringColumn through its dictionary codes
+// and a precomputed code→bucket table.
+type stringBatchIndexer struct {
+	codes      []int32
+	codeBucket []int32
+	miss       *table.Bitset
+}
+
+func (x *stringBatchIndexer) IndexSpan(start, end int, out []int32) {
+	codes := x.codes[start:end]
+	out = out[:len(codes)]
+	if x.miss == nil {
+		for k, c := range codes {
+			out[k] = x.codeBucket[c]
+		}
+		return
+	}
+	for k, c := range codes {
+		if x.miss.Get(start + k) {
+			out[k] = -2
+		} else {
+			out[k] = x.codeBucket[c]
+		}
+	}
+}
+
+func (x *stringBatchIndexer) IndexRows(rows []int32, out []int32) {
+	if x.miss == nil {
+		for k, r := range rows {
+			out[k] = x.codeBucket[x.codes[r]]
+		}
+		return
+	}
+	for k, r := range rows {
+		if x.miss.Get(int(r)) {
+			out[k] = -2
+		} else {
+			out[k] = x.codeBucket[x.codes[r]]
+		}
+	}
+}
+
+// bucketCounter is an optional BatchIndexer extension that fuses bucket
+// indexing with histogram tallying, skipping the intermediate bucket
+// code buffer. tallies is laid out [missing, outOfRange, bucket 0, ...]
+// (see bucketTally); kernels add one to tallies[bucket+2] per row.
+type bucketCounter interface {
+	CountSpan(start, end int, tallies []int64)
+	CountRows(rows []int32, tallies []int64)
+}
+
+func (x *intBatchIndexer) CountSpan(start, end int, tallies []int64) {
+	vals := x.vals[start:end]
+	if x.miss == nil {
+		for _, v := range vals {
+			tallies[x.p.index(float64(v))+2]++
+		}
+		return
+	}
+	for k, v := range vals {
+		if x.miss.Get(start + k) {
+			tallies[0]++
+		} else {
+			tallies[x.p.index(float64(v))+2]++
+		}
+	}
+}
+
+func (x *intBatchIndexer) CountRows(rows []int32, tallies []int64) {
+	if x.miss == nil {
+		for _, r := range rows {
+			tallies[x.p.index(float64(x.vals[r]))+2]++
+		}
+		return
+	}
+	for _, r := range rows {
+		if x.miss.Get(int(r)) {
+			tallies[0]++
+		} else {
+			tallies[x.p.index(float64(x.vals[r]))+2]++
+		}
+	}
+}
+
+func (x *doubleBatchIndexer) CountSpan(start, end int, tallies []int64) {
+	vals := x.vals[start:end]
+	if x.miss == nil {
+		for _, v := range vals {
+			tallies[x.p.index(v)+2]++
+		}
+		return
+	}
+	for k, v := range vals {
+		if x.miss.Get(start + k) {
+			tallies[0]++
+		} else {
+			tallies[x.p.index(v)+2]++
+		}
+	}
+}
+
+func (x *doubleBatchIndexer) CountRows(rows []int32, tallies []int64) {
+	if x.miss == nil {
+		for _, r := range rows {
+			tallies[x.p.index(x.vals[r])+2]++
+		}
+		return
+	}
+	for _, r := range rows {
+		if x.miss.Get(int(r)) {
+			tallies[0]++
+		} else {
+			tallies[x.p.index(x.vals[r])+2]++
+		}
+	}
+}
+
+func (x *stringBatchIndexer) CountSpan(start, end int, tallies []int64) {
+	codes := x.codes[start:end]
+	if x.miss == nil {
+		for _, c := range codes {
+			tallies[x.codeBucket[c]+2]++
+		}
+		return
+	}
+	for k, c := range codes {
+		if x.miss.Get(start + k) {
+			tallies[0]++
+		} else {
+			tallies[x.codeBucket[c]+2]++
+		}
+	}
+}
+
+func (x *stringBatchIndexer) CountRows(rows []int32, tallies []int64) {
+	if x.miss == nil {
+		for _, r := range rows {
+			tallies[x.codeBucket[x.codes[r]]+2]++
+		}
+		return
+	}
+	for _, r := range rows {
+		if x.miss.Get(int(r)) {
+			tallies[0]++
+		} else {
+			tallies[x.codeBucket[x.codes[r]]+2]++
+		}
+	}
+}
+
+// scalarBatchIndexer adapts the row-at-a-time Indexer for columns with
+// no backing storage (ComputedColumn).
+type scalarBatchIndexer struct {
+	idx func(row int) int
+}
+
+func (x *scalarBatchIndexer) IndexSpan(start, end int, out []int32) {
+	for k := 0; k < end-start; k++ {
+		out[k] = int32(x.idx(start + k))
+	}
+}
+
+func (x *scalarBatchIndexer) IndexRows(rows []int32, out []int32) {
+	for k, r := range rows {
+		out[k] = int32(x.idx(int(r)))
+	}
+}
+
+// codeBucketTable precomputes the code → bucket mapping for a dictionary
+// column (one IndexString per distinct value, as Indexer does).
+func (s BucketSpec) codeBucketTable(sc *table.StringColumn) []int32 {
+	dict := sc.Dict()
+	codeBucket := make([]int32, len(dict))
+	for c, v := range dict {
+		codeBucket[c] = int32(s.IndexString(v))
+	}
+	return codeBucket
+}
+
+// BatchIndexer returns the batch bucket kernel bound to a column. It
+// computes exactly what Indexer computes row by row, amortizing dispatch
+// over whole batches.
+func (s BucketSpec) BatchIndexer(col table.Column) (BatchIndexer, error) {
+	switch {
+	case s.Kind.Numeric():
+		if !col.Kind().Numeric() {
+			return nil, fmt.Errorf("sketch: numeric buckets over %v column", col.Kind())
+		}
+		switch c := col.(type) {
+		case *table.IntColumn:
+			return &intBatchIndexer{vals: c.Ints(), miss: c.MissingMask(), p: newNumericIndex(s)}, nil
+		case *table.DoubleColumn:
+			return &doubleBatchIndexer{vals: c.Doubles(), miss: c.MissingMask(), p: newNumericIndex(s)}, nil
+		}
+	case s.Kind == table.KindString:
+		if sc, ok := col.(*table.StringColumn); ok {
+			return &stringBatchIndexer{codes: sc.Codes(), codeBucket: s.codeBucketTable(sc), miss: sc.MissingMask()}, nil
+		}
+	default:
+		return nil, fmt.Errorf("sketch: bucket spec kind %v unsupported", s.Kind)
+	}
+	idx, err := s.Indexer(col)
+	if err != nil {
+		return nil, err
+	}
+	return &scalarBatchIndexer{idx: idx}, nil
 }
 
 // LabelOf renders the label of bucket i for axes and legends.

@@ -85,9 +85,10 @@ func (s *DistinctCountSketch) Zero() Result {
 	return &HLL{Precision: p, Registers: make([]byte, 1<<p)}
 }
 
-// Summarize implements Sketch. String columns use the dictionary fast
-// path: each distinct dictionary value is hashed once and rows insert
-// the precomputed hash.
+// Summarize implements Sketch. Stored columns hash their backing slices
+// with typed batch kernels; string columns hash each distinct dictionary
+// value once and rows insert the precomputed hash. Computed columns keep
+// the row-at-a-time reference path.
 func (s *DistinctCountSketch) Summarize(t *table.Table) (Result, error) {
 	col, err := t.Column(s.Col)
 	if err != nil {
@@ -100,12 +101,92 @@ func (s *DistinctCountSketch) Summarize(t *table.Table) (Result, error) {
 		for i, v := range c.Dict() {
 			hashes[i] = hashString(v)
 		}
-		t.Members().Iterate(func(row int) bool {
-			if !c.Missing(row) {
-				out.Add(hashes[c.Code(row)])
-			}
-			return true
-		})
+		codes, miss := c.Codes(), c.MissingMask()
+		scanBatches(t.Members(),
+			func(a, b int) {
+				if miss == nil {
+					for _, code := range codes[a:b] {
+						out.Add(hashes[code])
+					}
+					return
+				}
+				for k, code := range codes[a:b] {
+					if !miss.Get(a + k) {
+						out.Add(hashes[code])
+					}
+				}
+			},
+			func(rows []int32) {
+				if miss == nil {
+					for _, r := range rows {
+						out.Add(hashes[codes[r]])
+					}
+					return
+				}
+				for _, r := range rows {
+					if !miss.Get(int(r)) {
+						out.Add(hashes[codes[r]])
+					}
+				}
+			})
+	case *table.IntColumn:
+		vals, miss := c.Ints(), c.MissingMask()
+		scanBatches(t.Members(),
+			func(a, b int) {
+				if miss == nil {
+					for _, v := range vals[a:b] {
+						out.Add(hashValueBits(uint64(v)))
+					}
+					return
+				}
+				for k, v := range vals[a:b] {
+					if !miss.Get(a + k) {
+						out.Add(hashValueBits(uint64(v)))
+					}
+				}
+			},
+			func(rows []int32) {
+				if miss == nil {
+					for _, r := range rows {
+						out.Add(hashValueBits(uint64(vals[r])))
+					}
+					return
+				}
+				for _, r := range rows {
+					if !miss.Get(int(r)) {
+						out.Add(hashValueBits(uint64(vals[r])))
+					}
+				}
+			})
+	case *table.DoubleColumn:
+		vals, miss := c.Doubles(), c.MissingMask()
+		scanBatches(t.Members(),
+			func(a, b int) {
+				if miss == nil {
+					for _, v := range vals[a:b] {
+						out.Add(hashValueBits(math.Float64bits(v)))
+					}
+					return
+				}
+				for k, v := range vals[a:b] {
+					if !miss.Get(a + k) {
+						out.Add(hashValueBits(math.Float64bits(v)))
+					}
+				}
+			},
+			func(rows []int32) {
+				if miss == nil {
+					for _, r := range rows {
+						out.Add(hashValueBits(math.Float64bits(vals[r])))
+					}
+					return
+				}
+				for _, r := range rows {
+					if !miss.Get(int(r)) {
+						out.Add(hashValueBits(math.Float64bits(vals[r])))
+					}
+				}
+			})
 	default:
 		kind := col.Kind()
 		t.Members().Iterate(func(row int) bool {

@@ -86,7 +86,10 @@ func (s *MisraGriesSketch) Zero() Result {
 }
 
 // Summarize implements Sketch. The decrement step pairs each decrement
-// with a prior increment, so the scan is amortized O(rows).
+// with a prior increment, so the scan is amortized O(rows). Values are
+// materialized in batches (dictionary columns build each distinct Value
+// once) and fed to the update loop in scan order, so the result is
+// identical to the row-at-a-time path.
 func (s *MisraGriesSketch) Summarize(t *table.Table) (Result, error) {
 	col, err := t.Column(s.Col)
 	if err != nil {
@@ -97,26 +100,26 @@ func (s *MisraGriesSketch) Summarize(t *table.Table) (Result, error) {
 		k = 1
 	}
 	out := &HeavyHitters{K: s.K, Counters: make(map[table.Value]int64, k+1)}
-	t.Members().Iterate(func(row int) bool {
-		out.ScannedRows++
-		v := col.Value(row)
-		if c, ok := out.Counters[v]; ok {
-			out.Counters[v] = c + 1
-			return true
-		}
-		if len(out.Counters) < k {
-			out.Counters[v] = 1
-			return true
-		}
-		// Decrement every counter; drop zeros.
-		for u, c := range out.Counters {
-			if c <= 1 {
-				delete(out.Counters, u)
-			} else {
-				out.Counters[u] = c - 1
+	scanValues(t.Members(), col, func(vals []table.Value) {
+		out.ScannedRows += int64(len(vals))
+		for _, v := range vals {
+			if c, ok := out.Counters[v]; ok {
+				out.Counters[v] = c + 1
+				continue
+			}
+			if len(out.Counters) < k {
+				out.Counters[v] = 1
+				continue
+			}
+			// Decrement every counter; drop zeros.
+			for u, c := range out.Counters {
+				if c <= 1 {
+					delete(out.Counters, u)
+				} else {
+					out.Counters[u] = c - 1
+				}
 			}
 		}
-		return true
 	})
 	return out, nil
 }

@@ -114,7 +114,9 @@ func (s *Histogram2DSketch) Zero() Result {
 	}
 }
 
-// Summarize implements Sketch.
+// Summarize implements Sketch. Both axes are bucket-indexed with batch
+// kernels over the same row batches, then combined into the count matrix
+// in one pass per batch.
 func (s *Histogram2DSketch) Summarize(t *table.Table) (Result, error) {
 	xcol, err := t.Column(s.XCol)
 	if err != nil {
@@ -124,33 +126,51 @@ func (s *Histogram2DSketch) Summarize(t *table.Table) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	xIdx, err := s.X.Indexer(xcol)
+	xIdx, err := s.X.BatchIndexer(xcol)
 	if err != nil {
 		return nil, err
 	}
-	yIdx, err := s.Y.Indexer(ycol)
+	yIdx, err := s.Y.BatchIndexer(ycol)
 	if err != nil {
 		return nil, err
 	}
 	h := s.Zero().(*Histogram2D)
-	visit := func(row int) bool {
-		h.SampledRows++
-		xb := xIdx(row)
-		if xb < 0 {
-			h.XMissing++
-			return true
+	xb := make([]int32, kernelBatch)
+	yb := make([]int32, kernelBatch)
+	yCount := int32(h.Y.Count)
+	tally := func(n int) {
+		h.SampledRows += int64(n)
+		for k := 0; k < n; k++ {
+			xv := xb[k]
+			if xv < 0 {
+				h.XMissing++
+				continue
+			}
+			if yv := yb[k]; yv >= 0 {
+				h.Counts[xv*yCount+yv]++
+			} else {
+				h.YOther[xv]++
+			}
 		}
-		if yb := yIdx(row); yb >= 0 {
-			h.Counts[xb*h.Y.Count+yb]++
-		} else {
-			h.YOther[xb]++
-		}
-		return true
 	}
 	if h.SampleRate >= 1 {
-		t.Members().Iterate(visit)
+		scanBatches(t.Members(),
+			func(a, b int) {
+				xIdx.IndexSpan(a, b, xb[:b-a])
+				yIdx.IndexSpan(a, b, yb[:b-a])
+				tally(b - a)
+			},
+			func(rows []int32) {
+				xIdx.IndexRows(rows, xb[:len(rows)])
+				yIdx.IndexRows(rows, yb[:len(rows)])
+				tally(len(rows))
+			})
 	} else {
-		t.Members().Sample(h.SampleRate, PartitionSeed(s.Seed, t.ID()), visit)
+		sampleBatches(t.Members(), h.SampleRate, PartitionSeed(s.Seed, t.ID()), func(rows []int32) {
+			xIdx.IndexRows(rows, xb[:len(rows)])
+			yIdx.IndexRows(rows, yb[:len(rows)])
+			tally(len(rows))
+		})
 	}
 	return h, nil
 }

@@ -88,29 +88,19 @@ func (s *HistogramSketch) Zero() Result {
 	return &Histogram{Buckets: s.Buckets, Counts: make([]int64, s.Buckets.NumBuckets()), SampleRate: 1}
 }
 
-// Summarize implements Sketch.
+// Summarize implements Sketch via the batch kernels: spans of the
+// membership are bucket-indexed and tallied kernelBatch rows at a time.
 func (s *HistogramSketch) Summarize(t *table.Table) (Result, error) {
 	col, err := t.Column(s.Col)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := s.Buckets.Indexer(col)
+	bi, err := s.Buckets.BatchIndexer(col)
 	if err != nil {
 		return nil, err
 	}
 	h := s.Zero().(*Histogram)
-	t.Members().Iterate(func(row int) bool {
-		h.SampledRows++
-		switch b := idx(row); b {
-		case -2:
-			h.Missing++
-		case -1:
-			h.OutOfRange++
-		default:
-			h.Counts[b]++
-		}
-		return true
-	})
+	histogramScan(t.Members(), bi, h)
 	return h, nil
 }
 
@@ -143,29 +133,21 @@ func (s *SampledHistogramSketch) Zero() Result {
 	return &Histogram{Buckets: s.Buckets, Counts: make([]int64, s.Buckets.NumBuckets()), SampleRate: s.Rate}
 }
 
-// Summarize implements Sketch.
+// Summarize implements Sketch. The deterministic sample rows are
+// gathered into batches and bucket-indexed by the same kernels as the
+// exact scan, so the result is identical to sampling row at a time with
+// the same (Seed, partition) pair.
 func (s *SampledHistogramSketch) Summarize(t *table.Table) (Result, error) {
 	col, err := t.Column(s.Col)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := s.Buckets.Indexer(col)
+	bi, err := s.Buckets.BatchIndexer(col)
 	if err != nil {
 		return nil, err
 	}
 	h := s.Zero().(*Histogram)
-	t.Members().Sample(s.Rate, PartitionSeed(s.Seed, t.ID()), func(row int) bool {
-		h.SampledRows++
-		switch b := idx(row); b {
-		case -2:
-			h.Missing++
-		case -1:
-			h.OutOfRange++
-		default:
-			h.Counts[b]++
-		}
-		return true
-	})
+	histogramSampleScan(t.Members(), bi, h, s.Rate, PartitionSeed(s.Seed, t.ID()))
 	return h, nil
 }
 

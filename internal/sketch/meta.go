@@ -29,6 +29,10 @@ func (s *MetaSketch) CacheKey() string { return s.Name() }
 // Zero implements Sketch.
 func (s *MetaSketch) Zero() Result { return &TableMeta{} }
 
+// WholePartition implements sketch.WholePartition: Leaves counts one
+// per Summarize call, so chunked scans would over-count.
+func (s *MetaSketch) WholePartition() {}
+
 // Summarize implements Sketch.
 func (s *MetaSketch) Summarize(t *table.Table) (Result, error) {
 	return &TableMeta{Schema: t.Schema(), Rows: int64(t.NumRows()), Leaves: 1}, nil

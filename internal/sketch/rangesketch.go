@@ -40,13 +40,26 @@ func (s *RangeSketch) CacheKey() string { return s.Name() }
 // Zero implements Sketch.
 func (s *RangeSketch) Zero() Result { return &DataRange{} }
 
-// Summarize implements Sketch.
+// Summarize implements Sketch. Stored columns scan their backing slices
+// with typed min/max kernels; computed columns keep the row-at-a-time
+// reference path.
 func (s *RangeSketch) Summarize(t *table.Table) (Result, error) {
 	col, err := t.Column(s.Col)
 	if err != nil {
 		return nil, err
 	}
 	out := &DataRange{Kind: col.Kind()}
+	switch c := col.(type) {
+	case *table.IntColumn:
+		rangeScanInts(t.Members(), c, out)
+		return out, nil
+	case *table.DoubleColumn:
+		rangeScanDoubles(t.Members(), c, out)
+		return out, nil
+	case *table.StringColumn:
+		rangeScanStrings(t.Members(), c, out)
+		return out, nil
+	}
 	if col.Kind().Numeric() {
 		t.Members().Iterate(func(row int) bool {
 			if col.Missing(row) {
@@ -81,6 +94,160 @@ func (s *RangeSketch) Summarize(t *table.Table) (Result, error) {
 		return true
 	})
 	return out, nil
+}
+
+// rangeScanDoubles is the typed extrema kernel for double columns.
+func rangeScanDoubles(m table.Membership, c *table.DoubleColumn, out *DataRange) {
+	vals, miss := c.Doubles(), c.MissingMask()
+	min, max := out.Min, out.Max
+	present, missing := out.Present, out.Missing
+	take := func(v float64) {
+		if present == 0 || v < min {
+			min = v
+		}
+		if present == 0 || v > max {
+			max = v
+		}
+		present++
+	}
+	scanBatches(m,
+		func(a, b int) {
+			if miss == nil {
+				for _, v := range vals[a:b] {
+					take(v)
+				}
+				return
+			}
+			for k, v := range vals[a:b] {
+				if miss.Get(a + k) {
+					missing++
+				} else {
+					take(v)
+				}
+			}
+		},
+		func(rows []int32) {
+			if miss == nil {
+				for _, r := range rows {
+					take(vals[r])
+				}
+				return
+			}
+			for _, r := range rows {
+				if miss.Get(int(r)) {
+					missing++
+				} else {
+					take(vals[r])
+				}
+			}
+		})
+	out.Min, out.Max, out.Present, out.Missing = min, max, present, missing
+}
+
+// rangeScanInts is the typed extrema kernel for int/date columns. int64
+// order is preserved by the float64 conversion (it is monotone), so
+// comparing raw values gives the same extrema as the reference path.
+func rangeScanInts(m table.Membership, c *table.IntColumn, out *DataRange) {
+	vals, miss := c.Ints(), c.MissingMask()
+	var min, max int64
+	present, missing := out.Present, out.Missing
+	take := func(v int64) {
+		if present == 0 || v < min {
+			min = v
+		}
+		if present == 0 || v > max {
+			max = v
+		}
+		present++
+	}
+	scanBatches(m,
+		func(a, b int) {
+			if miss == nil {
+				for _, v := range vals[a:b] {
+					take(v)
+				}
+				return
+			}
+			for k, v := range vals[a:b] {
+				if miss.Get(a + k) {
+					missing++
+				} else {
+					take(v)
+				}
+			}
+		},
+		func(rows []int32) {
+			if miss == nil {
+				for _, r := range rows {
+					take(vals[r])
+				}
+				return
+			}
+			for _, r := range rows {
+				if miss.Get(int(r)) {
+					missing++
+				} else {
+					take(vals[r])
+				}
+			}
+		})
+	if present > out.Present {
+		out.Min, out.Max = float64(min), float64(max)
+	}
+	out.Present, out.Missing = present, missing
+}
+
+// rangeScanStrings is the extrema kernel for dictionary columns: the
+// dictionary is sorted, so code order equals lexicographic order.
+func rangeScanStrings(m table.Membership, c *table.StringColumn, out *DataRange) {
+	codes, miss := c.Codes(), c.MissingMask()
+	var min, max int32
+	present, missing := out.Present, out.Missing
+	take := func(v int32) {
+		if present == 0 || v < min {
+			min = v
+		}
+		if present == 0 || v > max {
+			max = v
+		}
+		present++
+	}
+	scanBatches(m,
+		func(a, b int) {
+			if miss == nil {
+				for _, v := range codes[a:b] {
+					take(v)
+				}
+				return
+			}
+			for k, v := range codes[a:b] {
+				if miss.Get(a + k) {
+					missing++
+				} else {
+					take(v)
+				}
+			}
+		},
+		func(rows []int32) {
+			if miss == nil {
+				for _, r := range rows {
+					take(codes[r])
+				}
+				return
+			}
+			for _, r := range rows {
+				if miss.Get(int(r)) {
+					missing++
+				} else {
+					take(codes[r])
+				}
+			}
+		})
+	if present > out.Present {
+		dict := c.Dict()
+		out.MinS, out.MaxS = dict[min], dict[max]
+	}
+	out.Present, out.Missing = present, missing
 }
 
 // Merge implements Sketch.

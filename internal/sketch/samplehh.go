@@ -34,10 +34,11 @@ func (s *SampleHeavyHittersSketch) Summarize(t *table.Table) (Result, error) {
 		return nil, err
 	}
 	out := &HeavyHitters{K: s.K, Counters: map[table.Value]int64{}, Sampled: true}
-	t.Members().Sample(s.Rate, PartitionSeed(s.Seed, t.ID()), func(row int) bool {
-		out.ScannedRows++
-		out.Counters[col.Value(row)]++
-		return true
+	sampleValues(t.Members(), col, s.Rate, PartitionSeed(s.Seed, t.ID()), func(vals []table.Value) {
+		out.ScannedRows += int64(len(vals))
+		for _, v := range vals {
+			out.Counters[v]++
+		}
 	})
 	return out, nil
 }

@@ -17,9 +17,36 @@
 // seeds from the partition's table ID, so re-running a sketch on the
 // same partition is bit-identical. This is the determinism requirement
 // of the fault-tolerance design (paper §5.8).
+//
+// # Batch kernels
+//
+// The hot sketches (histograms, CDF, hist2d, heavy hitters, range,
+// distinct) scan partitions through batch kernels rather than per-row
+// callbacks: membership spans and gathered row batches (see the
+// batch-iteration contract in package table) feed kind-specialized
+// inner loops — BucketSpec.BatchIndexer for bucket assignment, typed
+// extrema/hash loops, batch value materialization — that read column
+// storage directly with the missing-bitset nil check hoisted out of the
+// loop. Batch scans visit exactly the rows the row-at-a-time path
+// visits, in the same order, so results (including sampled sketches
+// under a fixed seed) are bit-identical to the reference path, which
+// remains in the tree as the ComputedColumn fallback. Benchmarks:
+// BenchmarkKernel* in bench_test.go; recorded in BENCH_kernels.json.
 package sketch
 
 import "repro/internal/table"
+
+// WholePartition is an optional Sketch extension. The engine may shard
+// one partition's scan into row-range chunks and summarize each chunk
+// independently (engine.Config.ChunkRows); that is transparent to any
+// sketch whose summary depends only on the multiset of scanned rows.
+// Sketches whose summaries count or otherwise depend on the partitions
+// themselves implement WholePartition to demand exactly one Summarize
+// call per partition.
+type WholePartition interface {
+	// WholePartition is a marker; it is never called.
+	WholePartition()
+}
 
 // Result is a mergeable summary value. Concrete result types are plain
 // exported-field structs registered with encoding/gob (see wire.go) so

@@ -153,7 +153,8 @@ func (b *stringBuilder) Freeze() Column {
 			b.codes[i] = remap[c]
 		}
 	}
-	return &StringColumn{dict: sorted, codes: b.codes, missing: b.miss.freeze(len(b.codes))}
+	missing := b.miss.freeze(len(b.codes))
+	return &StringColumn{dict: sorted, codes: b.codes, missing: missing, hasMissing: hasAnyMissing(missing)}
 }
 
 // Builder accumulates whole rows and freezes them into a Table.

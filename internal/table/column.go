@@ -9,6 +9,12 @@ import "fmt"
 // Value for every kind. Calling an accessor on an unsupported kind
 // panics — sketches select accessors by Kind up front, so a panic here
 // is always a programming error, not a data error.
+//
+// The concrete column types additionally expose their backing storage
+// (IntColumn.Ints, DoubleColumn.Doubles, StringColumn.Codes) together
+// with MissingMask/HasMissing, so that sketch kernels can run typed bulk
+// loops with no per-row interface dispatch. Returned slices and bitsets
+// are the live storage and must not be modified.
 type Column interface {
 	// Kind returns the column's value kind.
 	Kind() Kind
@@ -29,11 +35,18 @@ type Column interface {
 	Compare(i, j int) int
 }
 
+// hasAnyMissing reports whether the mask marks at least one row missing;
+// columns cache it so hot accessors skip the nil-receiver Get call.
+func hasAnyMissing(missing *Bitset) bool {
+	return missing != nil && missing.Count() > 0
+}
+
 // IntColumn stores int64 data; it backs both KindInt and KindDate.
 type IntColumn struct {
-	kind    Kind
-	vals    []int64
-	missing *Bitset // nil when the column has no missing values
+	kind       Kind
+	vals       []int64
+	missing    *Bitset // nil when the column has no missing values
+	hasMissing bool
 }
 
 // NewIntColumn wraps vals as a column of the given kind (KindInt or
@@ -42,7 +55,7 @@ func NewIntColumn(kind Kind, vals []int64, missing *Bitset) *IntColumn {
 	if kind != KindInt && kind != KindDate {
 		panic(fmt.Sprintf("table: NewIntColumn with kind %v", kind))
 	}
-	return &IntColumn{kind: kind, vals: vals, missing: missing}
+	return &IntColumn{kind: kind, vals: vals, missing: missing, hasMissing: hasAnyMissing(missing)}
 }
 
 // Kind implements Column.
@@ -52,7 +65,7 @@ func (c *IntColumn) Kind() Kind { return c.kind }
 func (c *IntColumn) Len() int { return len(c.vals) }
 
 // Missing implements Column.
-func (c *IntColumn) Missing(i int) bool { return c.missing.Get(i) }
+func (c *IntColumn) Missing(i int) bool { return c.hasMissing && c.missing.Get(i) }
 
 // Int implements Column.
 func (c *IntColumn) Int(i int) int64 { return c.vals[i] }
@@ -65,7 +78,7 @@ func (c *IntColumn) Str(i int) string { return c.Value(i).String() }
 
 // Value implements Column.
 func (c *IntColumn) Value(i int) Value {
-	if c.missing.Get(i) {
+	if c.hasMissing && c.missing.Get(i) {
 		return MissingValue(c.kind)
 	}
 	return Value{Kind: c.kind, I: c.vals[i]}
@@ -73,22 +86,38 @@ func (c *IntColumn) Value(i int) Value {
 
 // Compare implements Column.
 func (c *IntColumn) Compare(i, j int) int {
-	mi, mj := c.missing.Get(i), c.missing.Get(j)
+	mi, mj := c.Missing(i), c.Missing(j)
 	if mi || mj {
 		return cmpMissing(mi, mj)
 	}
 	return cmpInt(c.vals[i], c.vals[j])
 }
 
+// Ints returns the backing value slice (missing rows hold zero). Callers
+// must not modify it.
+func (c *IntColumn) Ints() []int64 { return c.vals }
+
+// MissingMask returns the missing bitset, nil when no row is missing.
+func (c *IntColumn) MissingMask() *Bitset {
+	if !c.hasMissing {
+		return nil
+	}
+	return c.missing
+}
+
+// HasMissing reports whether any row is missing.
+func (c *IntColumn) HasMissing() bool { return c.hasMissing }
+
 // DoubleColumn stores float64 data (KindDouble).
 type DoubleColumn struct {
-	vals    []float64
-	missing *Bitset
+	vals       []float64
+	missing    *Bitset
+	hasMissing bool
 }
 
 // NewDoubleColumn wraps vals as a KindDouble column. missing may be nil.
 func NewDoubleColumn(vals []float64, missing *Bitset) *DoubleColumn {
-	return &DoubleColumn{vals: vals, missing: missing}
+	return &DoubleColumn{vals: vals, missing: missing, hasMissing: hasAnyMissing(missing)}
 }
 
 // Kind implements Column.
@@ -98,7 +127,7 @@ func (c *DoubleColumn) Kind() Kind { return KindDouble }
 func (c *DoubleColumn) Len() int { return len(c.vals) }
 
 // Missing implements Column.
-func (c *DoubleColumn) Missing(i int) bool { return c.missing.Get(i) }
+func (c *DoubleColumn) Missing(i int) bool { return c.hasMissing && c.missing.Get(i) }
 
 // Int implements Column; doubles do not support Int access.
 func (c *DoubleColumn) Int(i int) int64 { panic("table: Int on double column") }
@@ -111,7 +140,7 @@ func (c *DoubleColumn) Str(i int) string { return c.Value(i).String() }
 
 // Value implements Column.
 func (c *DoubleColumn) Value(i int) Value {
-	if c.missing.Get(i) {
+	if c.hasMissing && c.missing.Get(i) {
 		return MissingValue(KindDouble)
 	}
 	return Value{Kind: KindDouble, D: c.vals[i]}
@@ -119,21 +148,37 @@ func (c *DoubleColumn) Value(i int) Value {
 
 // Compare implements Column.
 func (c *DoubleColumn) Compare(i, j int) int {
-	mi, mj := c.missing.Get(i), c.missing.Get(j)
+	mi, mj := c.Missing(i), c.Missing(j)
 	if mi || mj {
 		return cmpMissing(mi, mj)
 	}
 	return cmpFloat(c.vals[i], c.vals[j])
 }
 
+// Doubles returns the backing value slice (missing rows hold zero).
+// Callers must not modify it.
+func (c *DoubleColumn) Doubles() []float64 { return c.vals }
+
+// MissingMask returns the missing bitset, nil when no row is missing.
+func (c *DoubleColumn) MissingMask() *Bitset {
+	if !c.hasMissing {
+		return nil
+	}
+	return c.missing
+}
+
+// HasMissing reports whether any row is missing.
+func (c *DoubleColumn) HasMissing() bool { return c.hasMissing }
+
 // StringColumn stores dictionary-encoded strings (paper §6: "String
 // columns use dictionary encoding for compression"). The dictionary is
 // sorted, so code order equals lexicographic order and Compare is an
 // integer comparison.
 type StringColumn struct {
-	dict    []string // sorted, unique
-	codes   []int32  // index into dict; value for missing rows is 0
-	missing *Bitset
+	dict       []string // sorted, unique
+	codes      []int32  // index into dict; value for missing rows is 0
+	missing    *Bitset
+	hasMissing bool
 }
 
 // NewStringColumn builds a string column from raw values. Prefer the
@@ -157,7 +202,7 @@ func (c *StringColumn) Kind() Kind { return KindString }
 func (c *StringColumn) Len() int { return len(c.codes) }
 
 // Missing implements Column.
-func (c *StringColumn) Missing(i int) bool { return c.missing.Get(i) }
+func (c *StringColumn) Missing(i int) bool { return c.hasMissing && c.missing.Get(i) }
 
 // Int implements Column; strings do not support Int access.
 func (c *StringColumn) Int(i int) int64 { panic("table: Int on string column") }
@@ -167,7 +212,7 @@ func (c *StringColumn) Double(i int) float64 { panic("table: Double on string co
 
 // Str implements Column.
 func (c *StringColumn) Str(i int) string {
-	if c.missing.Get(i) {
+	if c.hasMissing && c.missing.Get(i) {
 		return ""
 	}
 	return c.dict[c.codes[i]]
@@ -175,7 +220,7 @@ func (c *StringColumn) Str(i int) string {
 
 // Value implements Column.
 func (c *StringColumn) Value(i int) Value {
-	if c.missing.Get(i) {
+	if c.hasMissing && c.missing.Get(i) {
 		return MissingValue(KindString)
 	}
 	return Value{Kind: KindString, S: c.dict[c.codes[i]]}
@@ -184,7 +229,7 @@ func (c *StringColumn) Value(i int) Value {
 // Compare implements Column. Because the dictionary is sorted, code
 // comparison is string comparison.
 func (c *StringColumn) Compare(i, j int) int {
-	mi, mj := c.missing.Get(i), c.missing.Get(j)
+	mi, mj := c.Missing(i), c.Missing(j)
 	if mi || mj {
 		return cmpMissing(mi, mj)
 	}
@@ -193,6 +238,21 @@ func (c *StringColumn) Compare(i, j int) int {
 
 // Code returns the dictionary code of row i (valid for non-missing rows).
 func (c *StringColumn) Code(i int) int32 { return c.codes[i] }
+
+// Codes returns the backing code slice (missing rows hold code 0).
+// Callers must not modify it.
+func (c *StringColumn) Codes() []int32 { return c.codes }
+
+// MissingMask returns the missing bitset, nil when no row is missing.
+func (c *StringColumn) MissingMask() *Bitset {
+	if !c.hasMissing {
+		return nil
+	}
+	return c.missing
+}
+
+// HasMissing reports whether any row is missing.
+func (c *StringColumn) HasMissing() bool { return c.hasMissing }
 
 // Dict returns the sorted dictionary. Callers must not modify it.
 func (c *StringColumn) Dict() []string { return c.dict }

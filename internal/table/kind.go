@@ -7,6 +7,20 @@
 // appended computed columns) share column storage with their parents. This
 // is the property that lets the engine treat all in-memory state as
 // disposable soft state (paper §5.6–5.7).
+//
+// # Batch iteration
+//
+// Scans are vectorized: in addition to row-at-a-time Iterate, every
+// Membership implements IterateSpans (maximal runs of consecutive member
+// rows) and FillBatch (bulk row-index decoding into a reused buffer), and
+// the stored column types expose their backing slices (IntColumn.Ints,
+// DoubleColumn.Doubles, StringColumn.Codes) plus MissingMask/HasMissing.
+// Sketch kernels combine the two to scan columns with no per-row
+// interface dispatch. The contract: batch forms visit exactly the rows
+// Iterate visits, in the same increasing order, deterministically; see
+// the Membership interface comment for the details, and Restrict for
+// how the engine shards one membership into independent row-range
+// chunks without copying.
 package table
 
 import "fmt"

@@ -11,6 +11,23 @@ import (
 // and differ only in membership (paper §5.6). Implementations choose a
 // representation by density: full, dense bitmap, or sparse index list.
 //
+// Beyond the row-at-a-time Iterate, memberships expose two batch forms
+// that sketch kernels scan with (the batch-iteration contract):
+//
+//   - IterateSpans yields maximal runs [start, end) of consecutive
+//     member rows, strictly increasing and non-overlapping, covering
+//     exactly the rows Iterate visits and in the same order.
+//   - FillBatch copies member row indexes into a caller-owned buffer,
+//     again in increasing Iterate order. The buffer is reused across
+//     calls; callers must consume (or copy) its contents before the
+//     next call. Each representation fills it with bulk code: full and
+//     range memberships write arithmetic sequences, bitmaps decode
+//     whole words, sparse lists copy slices.
+//
+// Both forms are deterministic: for a given membership value they yield
+// the same sequence on every call, which the engine relies on for
+// replayable scans (paper §5.8).
+//
 // Sample visits a uniform random subset of member rows where each row is
 // included independently with the given probability. Sampling is
 // deterministic in the seed, which is how the engine makes randomized
@@ -28,6 +45,16 @@ type Membership interface {
 	// Iterate visits member rows in increasing order until yield returns
 	// false.
 	Iterate(yield func(i int) bool)
+	// IterateSpans visits maximal runs [start, end) of consecutive member
+	// rows in increasing order until yield returns false. Every yielded
+	// span is non-empty (start < end).
+	IterateSpans(yield func(start, end int) bool)
+	// FillBatch copies the member rows at or after physical index from
+	// into buf, in increasing order, and returns the number n of rows
+	// written plus the cursor to pass as from on the next call. n is 0
+	// (and the scan is complete) only when no members remain; a full scan
+	// starts at from = 0 and stops at the first n == 0.
+	FillBatch(buf []int32, from int) (n, next int)
 	// Sample visits a uniform subset of member rows (each included with
 	// probability rate, independently) in increasing order until yield
 	// returns false. rate >= 1 visits every member row.
@@ -92,6 +119,16 @@ func (m fullMembership) Iterate(yield func(i int) bool) {
 	}
 }
 
+func (m fullMembership) IterateSpans(yield func(start, end int) bool) {
+	if m.n > 0 {
+		yield(0, m.n)
+	}
+}
+
+func (m fullMembership) FillBatch(buf []int32, from int) (int, int) {
+	return fillSequential(buf, from, 0, m.n)
+}
+
 func (m fullMembership) Sample(rate float64, seed uint64, yield func(i int) bool) {
 	g := newGeomSkipper(rate, seed)
 	for i := g.next(); i < m.n; i += g.next() + 1 {
@@ -101,15 +138,38 @@ func (m fullMembership) Sample(rate float64, seed uint64, yield func(i int) bool
 	}
 }
 
-// BitmapMembership is the dense representation: one bit per physical row.
+// fillSequential writes the arithmetic sequence [max(from,lo), hi) into
+// buf; shared by the full and range representations.
+func fillSequential(buf []int32, from, lo, hi int) (int, int) {
+	if from < lo {
+		from = lo
+	}
+	n := hi - from
+	if n <= 0 {
+		return 0, hi
+	}
+	if n > len(buf) {
+		n = len(buf)
+	}
+	for k := 0; k < n; k++ {
+		buf[k] = int32(from + k)
+	}
+	return n, from + n
+}
+
+// BitmapMembership is the dense representation: one bit per physical row,
+// optionally restricted to a physical row range [lo, hi) so that the
+// engine can shard one bitmap scan into independent chunks without
+// copying bits (Restrict).
 type BitmapMembership struct {
-	bits *Bitset
-	size int
+	bits   *Bitset
+	lo, hi int // member rows are the set bits within [lo, hi)
+	size   int
 }
 
 // NewBitmapMembership wraps a bitset as a membership set.
 func NewBitmapMembership(bits *Bitset) *BitmapMembership {
-	return &BitmapMembership{bits: bits, size: bits.Count()}
+	return &BitmapMembership{bits: bits, lo: 0, hi: bits.Len(), size: bits.Count()}
 }
 
 // Size implements Membership.
@@ -119,10 +179,93 @@ func (m *BitmapMembership) Size() int { return m.size }
 func (m *BitmapMembership) Max() int { return m.bits.Len() }
 
 // Contains implements Membership.
-func (m *BitmapMembership) Contains(i int) bool { return m.bits.Get(i) }
+func (m *BitmapMembership) Contains(i int) bool {
+	return i >= m.lo && i < m.hi && m.bits.Get(i)
+}
+
+// iterateWords visits each bitmap word overlapping [lo, hi), with bits
+// outside the range masked off; zero words are skipped.
+func (m *BitmapMembership) iterateWords(yield func(wi int, w uint64) bool) {
+	if m.lo >= m.hi {
+		return
+	}
+	loW, hiW := m.lo>>6, (m.hi-1)>>6
+	for wi := loW; wi <= hiW; wi++ {
+		w := m.bits.Words[wi]
+		if wi == loW {
+			w &= ^uint64(0) << (uint(m.lo) & 63)
+		}
+		if wi == hiW {
+			w &= ^uint64(0) >> (63 - uint(m.hi-1)&63)
+		}
+		if w != 0 && !yield(wi, w) {
+			return
+		}
+	}
+}
 
 // Iterate implements Membership.
-func (m *BitmapMembership) Iterate(yield func(i int) bool) { m.bits.Iterate(yield) }
+func (m *BitmapMembership) Iterate(yield func(i int) bool) {
+	m.iterateWords(func(wi int, w uint64) bool {
+		base := wi << 6
+		for w != 0 {
+			if !yield(base + bits.TrailingZeros64(w)) {
+				return false
+			}
+			w &= w - 1
+		}
+		return true
+	})
+}
+
+// IterateSpans implements Membership by alternating NextSet/NextClear,
+// which walk whole words of the bitmap.
+func (m *BitmapMembership) IterateSpans(yield func(start, end int) bool) {
+	i := m.bits.NextSet(m.lo)
+	for i >= 0 && i < m.hi {
+		end := m.bits.NextClear(i)
+		if end > m.hi {
+			end = m.hi
+		}
+		if !yield(i, end) || end >= m.hi {
+			return
+		}
+		i = m.bits.NextSet(end)
+	}
+}
+
+// FillBatch implements Membership by decoding set bits word at a time.
+func (m *BitmapMembership) FillBatch(buf []int32, from int) (int, int) {
+	if from < m.lo {
+		from = m.lo
+	}
+	if from >= m.hi || len(buf) == 0 {
+		return 0, m.hi
+	}
+	wi, hiW := from>>6, (m.hi-1)>>6
+	w := m.bits.Words[wi] & (^uint64(0) << (uint(from) & 63))
+	n := 0
+	for {
+		if wi == hiW {
+			w &= ^uint64(0) >> (63 - uint(m.hi-1)&63)
+		}
+		base := wi << 6
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			buf[n] = int32(base + tz)
+			n++
+			w &= w - 1
+			if n == len(buf) {
+				return n, base + tz + 1
+			}
+		}
+		wi++
+		if wi > hiW {
+			return n, m.hi
+		}
+		w = m.bits.Words[wi]
+	}
+}
 
 // Sample implements Membership by walking the bitmap in increasing index
 // order with geometric skips over member positions, skipping whole words
@@ -131,7 +274,7 @@ func (m *BitmapMembership) Iterate(yield func(i int) bool) { m.bits.Iterate(yiel
 func (m *BitmapMembership) Sample(rate float64, seed uint64, yield func(i int) bool) {
 	g := newGeomSkipper(rate, seed)
 	skip := g.next()
-	for wi, w := range m.bits.Words {
+	m.iterateWords(func(wi int, w uint64) bool {
 		for w != 0 {
 			pc := bits.OnesCount64(w)
 			if skip >= pc {
@@ -143,12 +286,13 @@ func (m *BitmapMembership) Sample(rate float64, seed uint64, yield func(i int) b
 				w &= w - 1
 			}
 			if !yield(wi<<6 + bits.TrailingZeros64(w)) {
-				return
+				return false
 			}
 			w &= w - 1
 			skip = g.next()
 		}
-	}
+		return true
+	})
 }
 
 // SparseMembership is the sparse representation: a sorted list of member
@@ -170,8 +314,8 @@ func (m *SparseMembership) Size() int { return len(m.rows) }
 // Max implements Membership.
 func (m *SparseMembership) Max() int { return m.max }
 
-// Contains implements Membership via binary search.
-func (m *SparseMembership) Contains(i int) bool {
+// search returns the first position in rows whose value is >= i.
+func (m *SparseMembership) search(i int) int {
 	lo, hi := 0, len(m.rows)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -181,7 +325,13 @@ func (m *SparseMembership) Contains(i int) bool {
 			hi = mid
 		}
 	}
-	return lo < len(m.rows) && int(m.rows[lo]) == i
+	return lo
+}
+
+// Contains implements Membership via binary search.
+func (m *SparseMembership) Contains(i int) bool {
+	p := m.search(i)
+	return p < len(m.rows) && int(m.rows[p]) == i
 }
 
 // Iterate implements Membership.
@@ -193,6 +343,34 @@ func (m *SparseMembership) Iterate(yield func(i int) bool) {
 	}
 }
 
+// IterateSpans implements Membership by grouping consecutive indexes.
+func (m *SparseMembership) IterateSpans(yield func(start, end int) bool) {
+	rows := m.rows
+	for i := 0; i < len(rows); {
+		j := i + 1
+		for j < len(rows) && rows[j] == rows[j-1]+1 {
+			j++
+		}
+		if !yield(int(rows[i]), int(rows[j-1])+1) {
+			return
+		}
+		i = j
+	}
+}
+
+// FillBatch implements Membership with a slice copy.
+func (m *SparseMembership) FillBatch(buf []int32, from int) (int, int) {
+	pos := 0
+	if from > 0 {
+		pos = m.search(from)
+	}
+	n := copy(buf, m.rows[pos:])
+	if n == 0 {
+		return 0, m.max
+	}
+	return n, int(m.rows[pos+n-1]) + 1
+}
+
 // Sample implements Membership with geometric skips over the index list.
 func (m *SparseMembership) Sample(rate float64, seed uint64, yield func(i int) bool) {
 	g := newGeomSkipper(rate, seed)
@@ -200,6 +378,57 @@ func (m *SparseMembership) Sample(rate float64, seed uint64, yield func(i int) b
 		if !yield(int(m.rows[i])) {
 			return
 		}
+	}
+}
+
+// Restrict returns the membership of m's member rows within the physical
+// row range [lo, hi), sharing m's underlying storage (no bit or index
+// copying for the built-in representations). Max() is preserved, so a
+// restricted membership is still a valid membership of the same table.
+// The engine uses Restrict to shard one partition's scan into
+// independently summarized chunks (paper §5.3's leaf parallelism applied
+// within a micropartition).
+func Restrict(m Membership, lo, hi int) Membership {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > m.Max() {
+		hi = m.Max()
+	}
+	if hi < lo {
+		hi = lo
+	}
+	switch mm := m.(type) {
+	case fullMembership:
+		return RangeMembership{Lo: lo, Hi: hi, Bound: mm.n}
+	case RangeMembership:
+		l, h := max(lo, mm.Lo), min(hi, mm.Hi)
+		if h < l {
+			h = l
+		}
+		return RangeMembership{Lo: l, Hi: h, Bound: mm.Bound}
+	case *BitmapMembership:
+		l, h := max(lo, mm.lo), min(hi, mm.hi)
+		if h < l {
+			h = l
+		}
+		return &BitmapMembership{bits: mm.bits, lo: l, hi: h, size: mm.bits.CountRange(l, h)}
+	case *SparseMembership:
+		a, b := mm.search(lo), mm.search(hi)
+		return &SparseMembership{rows: mm.rows[a:b], max: mm.max}
+	default:
+		// Unknown representation: collect the member rows in range.
+		var rows []int32
+		m.Iterate(func(i int) bool {
+			if i >= hi {
+				return false
+			}
+			if i >= lo {
+				rows = append(rows, int32(i))
+			}
+			return true
+		})
+		return NewSparseMembership(rows, m.Max())
 	}
 }
 

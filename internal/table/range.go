@@ -36,6 +36,18 @@ func (m RangeMembership) Iterate(yield func(i int) bool) {
 	}
 }
 
+// IterateSpans implements Membership: the range is one span.
+func (m RangeMembership) IterateSpans(yield func(start, end int) bool) {
+	if m.Lo < m.Hi {
+		yield(m.Lo, m.Hi)
+	}
+}
+
+// FillBatch implements Membership with an arithmetic sequence.
+func (m RangeMembership) FillBatch(buf []int32, from int) (int, int) {
+	return fillSequential(buf, from, m.Lo, m.Hi)
+}
+
 // Sample implements Membership with geometric skips over the range.
 func (m RangeMembership) Sample(rate float64, seed uint64, yield func(i int) bool) {
 	g := newGeomSkipper(rate, seed)
@@ -54,4 +66,17 @@ func SliceRows(t *Table, id string, lo, hi int) *Table {
 		panic("table: SliceRows requires full membership")
 	}
 	return New(id, t.Schema(), t.cols, NewRangeMembership(lo, hi, t.Members().Max()))
+}
+
+// Slice returns a view of t restricted to the member rows within the
+// physical range [lo, hi), with the given ID. Unlike SliceRows it works
+// over any membership representation (see Restrict); all column storage
+// is shared.
+func (t *Table) Slice(id string, lo, hi int) *Table {
+	return &Table{
+		id:      id,
+		schema:  t.schema,
+		cols:    t.cols,
+		members: Restrict(t.members, lo, hi),
+	}
 }
