@@ -459,6 +459,39 @@ func BenchmarkKernelShardedScan(b *testing.B) {
 	reportRows(b, rows)
 }
 
+// BenchmarkKernelParallelAgg measures the engine-level aggregation
+// overhaul end to end: per-worker accumulators draining the chunk queue
+// and combining in a pairwise merge tree, across the three summary
+// shapes that stress it differently (dense tallies, a 2-D count matrix,
+// and the code-keyed Misra–Gries state).
+func BenchmarkKernelParallelAgg(b *testing.B) {
+	const rows = 10000000
+	t := kernelTable("kpa", rows, false)
+	ds := engine.NewLocal("kpa", []*table.Table{t}, engine.Config{AggregationWindow: -1})
+	sketches := []struct {
+		name string
+		sk   sketch.Sketch
+	}{
+		{"hist", &sketch.HistogramSketch{Col: "i", Buckets: sketch.NumericBuckets(table.KindInt, 0, 1000000, 50)}},
+		{"hist2d", &sketch.Histogram2DSketch{
+			XCol: "i", YCol: "d",
+			X: sketch.NumericBuckets(table.KindInt, 0, 1000000, 25),
+			Y: sketch.NumericBuckets(table.KindDouble, 0, 3000, 20),
+		}},
+		{"heavyhitters", &sketch.MisraGriesSketch{Col: "s", K: 16}},
+	}
+	for _, tc := range sketches {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ds.Sketch(context.Background(), tc.sk, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
 // BenchmarkFig11Case replays the case-study scripts (Figure 11 machine
 // time).
 func BenchmarkFig11Case(b *testing.B) {

@@ -20,11 +20,23 @@
 // allows", paper §6): memberships iterate in spans or bulk-decoded row
 // batches, columns expose typed backing storage, sketches run
 // kind-specialized batch kernels, and the engine shards oversized
-// partitions into fixed row-range chunks summarized concurrently and
-// folded with each sketch's own Merge. Batch scans are bit-identical to
-// the retained row-at-a-time reference path — including randomized
-// sketches under a fixed seed, via per-chunk seeds derived from
-// (seed, chunk start). Kernel before/after numbers: BENCH_kernels.json.
+// partitions into fixed row-range chunks. Aggregation is parallel all
+// the way up: a pool of leaf workers drains the chunk queue, each
+// folding its chunks into a reusable mutable Accumulator
+// (sketch.AccumulatorSketch — histogram, hist2d, range, distinct, and
+// heavy hitters ship one) or a private Merge fold, and the per-worker
+// states combine in a pairwise merge tree, so no chunk result ever
+// crosses a shared lock. Progressive partials merge snapshots of every
+// worker's state and reach the callback serialized on a dedicated
+// emission lock, never blocking the fold path. Heavy
+// hitters count dictionary columns by int32 code (dense array or
+// code-keyed map) and materialize Values only at result time;
+// equi-width buckets index by a precomputed reciprocal whenever the
+// multiplication form is verified against the division form at every
+// bucket boundary. Batch scans are bit-identical to the retained
+// row-at-a-time reference path — including randomized sketches under a
+// fixed seed, via per-chunk seeds derived from (seed, chunk start).
+// Kernel before/after numbers: BENCH_kernels.json.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-versus-measured results. The benchmarks in

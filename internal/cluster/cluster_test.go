@@ -255,13 +255,21 @@ func TestClusterCancellation(t *testing.T) {
 	if _, err := cl.Load(context.Background(), "big", "flights:rows=400000,parts=64,seed=2"); err != nil {
 		t.Fatal(err)
 	}
+	// Scan a derived (computed, expression-evaluated) column: tens of
+	// milliseconds of leaf work, so the cancel below — which must
+	// round-trip the wire after the first partial arrives — always
+	// lands while most partitions are still queued. Partial emission no
+	// longer blocks the scan, so a raw-column scan could outrun it.
+	if _, err := cl.MapOp(context.Background(), "big", "big2", engine.DeriveOp{Col: "d2", Expr: "Distance * 2"}); err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	var saw int32
 	// Cancel from inside the partial callback while the worker is still
-	// mid-query (a non-final partial guarantees partitions remain). A
-	// watcher goroutine polling with time.Sleep is racy on coarse-timer
-	// machines, where the whole query can finish before a sleep returns.
-	_, err := cl.Sketch(ctx, "big", &sketch.HistogramSketch{Col: "Distance", Buckets: sketch.NumericBuckets(table.KindDouble, 0, 3000, 10)},
+	// mid-query. A watcher goroutine polling with time.Sleep is racy on
+	// coarse-timer machines, where the whole query can finish before a
+	// sleep returns.
+	_, err := cl.Sketch(ctx, "big2", &sketch.HistogramSketch{Col: "d2", Buckets: sketch.NumericBuckets(table.KindDouble, 0, 6000, 10)},
 		func(p engine.Partial) {
 			atomic.StoreInt32(&saw, int32(p.Done))
 			if p.Done >= 1 && p.Done < p.Total {

@@ -131,6 +131,32 @@ func TestLocalThrottleWindow(t *testing.T) {
 	}
 }
 
+// TestSlowPartialConsumerDoesNotStallScan: while a slow onPartial is
+// running, further emissions are dropped (TryLock) instead of queueing
+// every worker behind the consumer. Before the per-worker accumulator
+// rework, the callback ran under the shared merge mutex and a slow
+// consumer serialized the whole scan behind itself — here ~48 windows
+// of 30 ms each.
+func TestSlowPartialConsumerDoesNotStallScan(t *testing.T) {
+	parts := genParts("slow", 48, 2000, 17)
+	ds := NewLocal("slow", parts, Config{Parallelism: 4, AggregationWindow: time.Nanosecond})
+	var calls atomic.Int32
+	start := time.Now()
+	if _, err := ds.Sketch(context.Background(), histSketch(), func(Partial) {
+		calls.Add(1)
+		time.Sleep(30 * time.Millisecond)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if n := calls.Load(); n > 8 {
+		t.Errorf("slow consumer received %d partials; emissions during a busy consumer should be dropped", n)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("scan took %v behind a slow partial consumer", elapsed)
+	}
+}
+
 func TestLocalCancellation(t *testing.T) {
 	parts := genParts("c", 64, 20000, 4)
 	ds := NewLocal("c", parts, Config{Parallelism: 2, AggregationWindow: time.Nanosecond})

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sketch"
@@ -67,7 +68,12 @@ type leafTask struct {
 // §5.8). Sketches that implement sketch.WholePartition are never
 // chunked, and neither are partitions whose member count (not just
 // physical bound) fits one chunk — a heavily filtered partition over a
-// large physical space is one cheap scan, not many empty ones.
+// large physical space is one cheap scan, not many empty ones. Chunks
+// whose row range holds no members at all (a popcount over the
+// membership bitset range, via Restrict) are dropped before dispatch,
+// so a clustered filter over a large physical space does not enqueue
+// no-op tasks; chunk IDs still derive from the physical start row, so
+// skipping never shifts another chunk's sampling seed.
 func (d *LocalDataSet) leafTasks(sk sketch.Sketch) []leafTask {
 	chunk := d.cfg.chunkRows()
 	_, whole := sk.(sketch.WholePartition)
@@ -83,105 +89,226 @@ func (d *LocalDataSet) leafTasks(sk sketch.Sketch) []leafTask {
 			if hi > max {
 				hi = max
 			}
+			m := table.Restrict(p.Members(), lo, hi)
+			if m.Size() == 0 {
+				continue
+			}
 			id := p.ID() + "#" + strconv.Itoa(lo)
-			tasks = append(tasks, leafTask{part: pi, t: p.Slice(id, lo, hi)})
+			tasks = append(tasks, leafTask{part: pi, t: p.WithMembership(id, m)})
 		}
 	}
 	return tasks
 }
 
+// leafWorker is one thread of the leaf pool: it drains the task queue
+// into its own accumulator (or, for sketches without one, a private
+// Merge fold), so workers never contend on a shared summary. mu
+// serializes the worker's folding with snapshots taken by the partial
+// emitter.
+type leafWorker struct {
+	mu   sync.Mutex
+	acc  sketch.Accumulator // non-nil when the sketch provides one
+	fold sketch.Result      // Merge-fold state otherwise
+}
+
+func newLeafWorker(sk sketch.Sketch) *leafWorker {
+	if as, ok := sk.(sketch.AccumulatorSketch); ok {
+		return &leafWorker{acc: as.NewAccumulator()}
+	}
+	return &leafWorker{fold: sk.Zero()}
+}
+
+// add folds one task's table into the worker's state.
+func (w *leafWorker) add(sk sketch.Sketch, t *table.Table) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.acc != nil {
+		return w.acc.Add(t)
+	}
+	r, err := sk.Summarize(t)
+	if err != nil {
+		return err
+	}
+	merged, err := sk.Merge(w.fold, r)
+	if err != nil {
+		return err
+	}
+	w.fold = merged
+	return nil
+}
+
+// snapshot returns an immutable view of everything folded so far.
+func (w *leafWorker) snapshot() sketch.Result {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.acc != nil {
+		return w.acc.Snapshot()
+	}
+	return w.fold
+}
+
+// result returns the worker's final summary; the worker must be idle.
+func (w *leafWorker) result() sketch.Result {
+	if w.acc != nil {
+		return w.acc.Result()
+	}
+	return w.fold
+}
+
+// mergeSnapshots combines every worker's current snapshot into one
+// summary with a pairwise merge tree.
+func mergeSnapshots(sk sketch.Sketch, workers []*leafWorker) (sketch.Result, error) {
+	snaps := make([]sketch.Result, len(workers))
+	for i, w := range workers {
+		snaps[i] = w.snapshot()
+	}
+	return sketch.MergeTree(sk, snaps...)
+}
+
 // Sketch implements IDataSet. Each partition is scanned as one or more
-// fixed-range chunk tasks (see leafTasks) summarized concurrently by the
-// leaf thread pool; chunk summaries are folded with the sketch's own
-// Merge as they complete. Partial results are emitted at most once per
-// aggregation window with Done counting fully merged partitions, and
-// cancellation stops dispatch of not-yet-started tasks.
+// fixed-range chunk tasks (see leafTasks). A pool of workers drains the
+// task queue; every worker folds the chunks it pulls into its own
+// accumulator (sketch.AccumulatorSketch) or private Merge fold, so no
+// chunk result ever crosses a shared lock, and the per-worker states
+// combine in a pairwise merge tree once the queue is empty. Partial
+// results are emitted at most once per aggregation window: the emitting
+// worker merges a snapshot of every worker's state and invokes
+// onPartial holding only the emission lock, never a fold or progress
+// lock — a slow partial consumer costs dropped partials, never a
+// stalled scan. Done counts fully folded partitions, and cancellation
+// stops workers from pulling not-yet-started tasks.
 func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial PartialFunc) (sketch.Result, error) {
 	total := len(d.parts)
-	acc := sk.Zero()
 	if total == 0 {
-		emit(onPartial, Partial{Result: acc, Done: 0, Total: 0})
-		return acc, nil
+		z := sk.Zero()
+		emit(onPartial, Partial{Result: z, Done: 0, Total: 0})
+		return z, nil
 	}
 	tasks := d.leafTasks(sk)
-	pending := make([]int, total) // unmerged tasks per partition
+	pending := make([]int, total) // unfolded tasks per partition
 	for _, tk := range tasks {
 		pending[tk.part]++
 	}
 	var (
-		mu       sync.Mutex
-		done     int // fully merged partitions
+		progMu   sync.Mutex
+		done     int // fully folded partitions
 		firstErr error
-		wg       sync.WaitGroup
 	)
-	th := newThrottle(d.cfg.window())
-	p := d.parallelism()
-	if p > len(tasks) {
-		p = len(tasks)
+	for _, n := range pending {
+		if n == 0 { // partition with no member rows in any chunk
+			done++
+		}
 	}
-	sem := make(chan struct{}, p)
 
-dispatch:
-	for i := range tasks {
-		// Cancellation removes enqueued work (paper §5.3); running
-		// chunks finish. The non-blocking check runs first so that a
-		// cancelled context always wins over a free worker slot.
-		select {
-		case <-ctx.Done():
-			break dispatch
-		default:
+	nw := d.parallelism()
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	workers := make([]*leafWorker, nw)
+	for i := range workers {
+		workers[i] = newLeafWorker(sk)
+	}
+	th := newThrottle(d.cfg.window())
+
+	// Partial emission: the worker that wins the throttle reads the
+	// progress counter, snapshots every worker, and invokes onPartial
+	// holding only emitMu — never a worker's fold lock or the progress
+	// lock. emitMu serializes emissions so Done stays monotone; it is
+	// taken with TryLock, so while a slow consumer is still inside
+	// onPartial later emissions are dropped (the next window re-emits a
+	// fresher snapshot) instead of queueing workers behind the
+	// callback. Progress is read after winning emitMu and workers fold
+	// before they update progress, so each emitted summary covers at
+	// least the chunks its Done count claims.
+	var emitMu sync.Mutex
+	emitPartial := func() {
+		if !emitMu.TryLock() {
+			return
 		}
-		select {
-		case <-ctx.Done():
-			break dispatch
-		case sem <- struct{}{}:
+		defer emitMu.Unlock()
+		progMu.Lock()
+		dn, bad := done, firstErr != nil
+		progMu.Unlock()
+		// Once every partition has folded, the unconditional final emit
+		// below delivers the one Done==Total partial (built from the
+		// returned result, not a snapshot); suppressing it here keeps
+		// the old contract of exactly one completion partial.
+		if bad || dn == total {
+			return
 		}
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			<-sem
-			break dispatch
+		snap, err := mergeSnapshots(sk, workers)
+		if err != nil {
+			return // partial emission is best-effort
 		}
+		onPartial(Partial{Result: snap, Done: dn, Total: total})
+	}
+
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+	)
+	for _, w := range workers {
 		wg.Add(1)
-		go func(tk leafTask) {
+		go func(w *leafWorker) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			r, err := sk.Summarize(tk.t)
-			mu.Lock()
-			defer mu.Unlock()
-			if firstErr != nil {
-				return
+			for {
+				// Cancellation removes enqueued work (paper §5.3);
+				// running chunks finish. The context is checked before
+				// every pull so a cancelled query never claims new work.
+				if ctx.Err() != nil {
+					return
+				}
+				progMu.Lock()
+				stop := firstErr != nil
+				progMu.Unlock()
+				if stop {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				tk := tasks[i]
+				if err := w.add(sk, tk.t); err != nil {
+					progMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					progMu.Unlock()
+					return
+				}
+				progMu.Lock()
+				pending[tk.part]--
+				if pending[tk.part] == 0 {
+					done++
+				}
+				progMu.Unlock()
+				if onPartial != nil && th.allow(false) {
+					emitPartial()
+				}
 			}
-			if err != nil {
-				firstErr = err
-				return
-			}
-			merged, err := sk.Merge(acc, r)
-			if err != nil {
-				firstErr = err
-				return
-			}
-			acc = merged
-			pending[tk.part]--
-			if pending[tk.part] == 0 {
-				done++
-			}
-			if onPartial != nil && th.allow(done == total) {
-				onPartial(Partial{Result: acc, Done: done, Total: total})
-			}
-		}(tasks[i])
+		}(w)
 	}
 	wg.Wait()
-	mu.Lock()
-	defer mu.Unlock()
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return acc, nil
+	results := make([]sketch.Result, len(workers))
+	for i, w := range workers {
+		results[i] = w.result()
+	}
+	final, err := sketch.MergeTree(sk, results...)
+	if err != nil {
+		return nil, err
+	}
+	emit(onPartial, Partial{Result: final, Done: total, Total: total})
+	return final, nil
 }
 
 // Map implements IDataSet: partitions transform independently and in

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -33,6 +34,12 @@ func TestShardedScanMatchesUnsharded(t *testing.T) {
 		histSketch(),
 		&sketch.RangeSketch{Col: "x"},
 		&sketch.DistinctCountSketch{Col: "g"},
+		&sketch.CDFSketch{Col: "x", Buckets: sketch.NumericBuckets(table.KindDouble, 0, 100, 40)},
+		&sketch.Histogram2DSketch{
+			XCol: "x", YCol: "g",
+			X: sketch.NumericBuckets(table.KindDouble, 0, 100, 10),
+			Y: sketch.StringBucketsFromBounds([]string{"even", "odd"}, true),
+		},
 	}
 	for _, sk := range sketches {
 		want, err := whole.Sketch(context.Background(), sk, nil)
@@ -106,6 +113,7 @@ func TestShardedPartialAccounting(t *testing.T) {
 		t.Errorf("final partial Done/Total = %d/%d, want %d/%d", last.Done, last.Total, len(parts), len(parts))
 	}
 	prev := -1
+	completions := 0
 	for _, p := range partials {
 		if p.Done < prev {
 			t.Errorf("Done regressed: %d after %d", p.Done, prev)
@@ -113,7 +121,13 @@ func TestShardedPartialAccounting(t *testing.T) {
 		if p.Done > len(parts) {
 			t.Errorf("Done = %d exceeds partition count %d", p.Done, len(parts))
 		}
+		if p.Done == p.Total {
+			completions++
+		}
 		prev = p.Done
+	}
+	if completions != 1 {
+		t.Errorf("got %d Done==Total partials, want exactly one (the final emit)", completions)
 	}
 }
 
@@ -163,6 +177,98 @@ func TestWholePartitionSketchNotChunked(t *testing.T) {
 	}
 	if meta.Rows != 6000 {
 		t.Errorf("MetaSketch Rows = %d, want 6000", meta.Rows)
+	}
+}
+
+// TestLeafTasksSkipEmptyChunks checks that chunk ranges holding no
+// member rows (popcount over the membership bitset range) are dropped
+// before dispatch, without changing the summary: a clustered filter
+// over a large physical space dispatches only the occupied ranges.
+func TestLeafTasksSkipEmptyChunks(t *testing.T) {
+	parts := genParts("ec", 1, 10000, 13)
+	// Members cluster in [0, 1000) ∪ [9000, 10000): 2000 of 10000
+	// physical rows, a dense bitmap membership.
+	f := parts[0].Filter("ec-f", func(row int) bool { return row < 1000 || row >= 9000 })
+	ds := NewLocal("ec", []*table.Table{f}, Config{AggregationWindow: -1, ChunkRows: 500})
+	tasks := ds.leafTasks(histSketch())
+	if len(tasks) != 4 {
+		t.Errorf("got %d tasks, want 4 (only occupied 500-row ranges)", len(tasks))
+	}
+	var members int
+	for _, tk := range tasks {
+		members += tk.t.NumRows()
+	}
+	if members != 2000 {
+		t.Errorf("tasks cover %d member rows, want 2000", members)
+	}
+	whole := NewLocal("ec", []*table.Table{f}, Config{AggregationWindow: -1, ChunkRows: -1})
+	want, err := whole.Sketch(context.Background(), histSketch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Sketch(context.Background(), histSketch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("skipping empty chunks changed the summary")
+	}
+}
+
+// TestShardedHeavyHittersGuarantee runs Misra–Gries through the chunked
+// engine path (per-worker accumulators, merge tree) and checks the
+// frequency guarantee against exact counts. Counter values may vary
+// with the dynamic chunk-to-worker assignment; the guarantee may not.
+func TestShardedHeavyHittersGuarantee(t *testing.T) {
+	const rows = 12000
+	const k = 8
+	vals := make([]string, 26)
+	for i := range vals {
+		vals[i] = "t-" + string(rune('a'+i))
+	}
+	schema := table.NewSchema(table.ColumnDesc{Name: "s", Kind: table.KindString})
+	truth := map[string]int64{}
+	var parts []*table.Table
+	for p := 0; p < 3; p++ {
+		b := table.NewBuilder(schema, rows/3)
+		for i := 0; i < rows/3; i++ {
+			var v string
+			switch {
+			case i%10 < 4:
+				v = "v0"
+			case i%10 < 6:
+				v = "v1"
+			default:
+				v = vals[(i*7+p)%len(vals)]
+			}
+			truth[v]++
+			b.AppendRow(table.Row{table.StringValue(v)})
+		}
+		parts = append(parts, b.Freeze(fmt.Sprintf("hh-p%d", p)))
+	}
+	ds := NewLocal("hh", parts, Config{AggregationWindow: -1, ChunkRows: 512})
+	res, err := ds.Sketch(context.Background(), &sketch.MisraGriesSketch{Col: "s", K: k}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh := res.(*sketch.HeavyHitters)
+	if hh.ScannedRows != rows {
+		t.Fatalf("ScannedRows = %d, want %d", hh.ScannedRows, rows)
+	}
+	if len(hh.Counters) > k {
+		t.Fatalf("%d > K counters", len(hh.Counters))
+	}
+	errBound := int64(rows)/int64(k+1) + 1
+	for v, c := range hh.Counters {
+		tc := truth[v.S]
+		if c > tc || tc-c > errBound {
+			t.Errorf("count for %q = %d, truth %d, bound %d", v.S, c, tc, errBound)
+		}
+	}
+	for _, want := range []string{"v0", "v1"} { // 40% and 20% > 1/(k+1)
+		if _, ok := hh.Counters[table.StringValue(want)]; !ok {
+			t.Errorf("heavy value %q lost in the sharded scan", want)
+		}
 	}
 }
 

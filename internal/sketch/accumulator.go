@@ -1,0 +1,303 @@
+package sketch
+
+import "repro/internal/table"
+
+// This file implements the Accumulator fast path (see sketch.go) for
+// the hot sketches: histogram (exact, sampled, CDF), hist2d, range,
+// distinct, and heavy hitters. Each accumulator owns one mutable
+// summary that many chunk scans fold into, and caches per-column scan
+// state (batch indexers, dictionary hash tables, code counters) so
+// chunked partitions — whose chunks share column storage — pay the
+// per-column setup once instead of once per chunk.
+
+// histAccumulator folds chunks into one mutable Histogram. It serves
+// the exact, sampled, and CDF histogram sketches, which differ only in
+// how the rate selects the scan.
+type histAccumulator struct {
+	col     string
+	buckets BucketSpec
+	exact   bool    // true: full scan; false: sampled scan at rate
+	rate    float64 // per-row inclusion probability when !exact
+	seed    uint64
+	h       *Histogram
+	lastCol table.Column
+	lastBI  BatchIndexer
+}
+
+// NewAccumulator implements AccumulatorSketch.
+func (s *HistogramSketch) NewAccumulator() Accumulator {
+	return &histAccumulator{col: s.Col, buckets: s.Buckets, exact: true, h: s.Zero().(*Histogram)}
+}
+
+// NewAccumulator implements AccumulatorSketch. Sampling dispatch mirrors
+// Summarize: the sampled scan itself degenerates to the exact scan for
+// rate ≥ 1.
+func (s *SampledHistogramSketch) NewAccumulator() Accumulator {
+	return &histAccumulator{col: s.Col, buckets: s.Buckets, rate: s.Rate, seed: s.Seed, h: s.Zero().(*Histogram)}
+}
+
+// NewAccumulator implements AccumulatorSketch. As in Summarize, a
+// non-positive rate means exact computation.
+func (s *CDFSketch) NewAccumulator() Accumulator {
+	return &histAccumulator{
+		col: s.Col, buckets: s.Buckets,
+		exact: s.Rate <= 0, rate: s.Rate, seed: s.Seed,
+		h: s.Zero().(*Histogram),
+	}
+}
+
+func (a *histAccumulator) indexer(c table.Column) (BatchIndexer, error) {
+	if c == a.lastCol {
+		return a.lastBI, nil
+	}
+	bi, err := a.buckets.BatchIndexer(c)
+	if err != nil {
+		return nil, err
+	}
+	a.lastCol, a.lastBI = c, bi
+	return bi, nil
+}
+
+// Add implements Accumulator.
+func (a *histAccumulator) Add(t *table.Table) error {
+	c, err := t.Column(a.col)
+	if err != nil {
+		return err
+	}
+	bi, err := a.indexer(c)
+	if err != nil {
+		return err
+	}
+	if a.exact {
+		histogramScan(t.Members(), bi, a.h)
+	} else {
+		histogramSampleScan(t.Members(), bi, a.h, a.rate, PartitionSeed(a.seed, t.ID()))
+	}
+	return nil
+}
+
+// Snapshot implements Accumulator.
+func (a *histAccumulator) Snapshot() Result {
+	out := *a.h
+	out.Counts = append([]int64(nil), a.h.Counts...)
+	return &out
+}
+
+// Result implements Accumulator.
+func (a *histAccumulator) Result() Result { return a.h }
+
+// hist2dAccumulator folds chunks into one mutable Histogram2D with both
+// axis indexers cached per column pair.
+type hist2dAccumulator struct {
+	sk           *Histogram2DSketch
+	h            *Histogram2D
+	lastX, lastY table.Column
+	xIdx, yIdx   BatchIndexer
+}
+
+// NewAccumulator implements AccumulatorSketch.
+func (s *Histogram2DSketch) NewAccumulator() Accumulator {
+	return &hist2dAccumulator{sk: s, h: s.Zero().(*Histogram2D)}
+}
+
+// Add implements Accumulator.
+func (a *hist2dAccumulator) Add(t *table.Table) error {
+	xcol, err := t.Column(a.sk.XCol)
+	if err != nil {
+		return err
+	}
+	ycol, err := t.Column(a.sk.YCol)
+	if err != nil {
+		return err
+	}
+	if xcol != a.lastX {
+		if a.xIdx, err = a.sk.X.BatchIndexer(xcol); err != nil {
+			return err
+		}
+		a.lastX = xcol
+	}
+	if ycol != a.lastY {
+		if a.yIdx, err = a.sk.Y.BatchIndexer(ycol); err != nil {
+			return err
+		}
+		a.lastY = ycol
+	}
+	a.sk.scanInto(a.h, t, a.xIdx, a.yIdx)
+	return nil
+}
+
+// Snapshot implements Accumulator.
+func (a *hist2dAccumulator) Snapshot() Result {
+	out := *a.h
+	out.Counts = append([]int64(nil), a.h.Counts...)
+	out.YOther = append([]int64(nil), a.h.YOther...)
+	return &out
+}
+
+// Result implements Accumulator.
+func (a *hist2dAccumulator) Result() Result { return a.h }
+
+// rangeAccumulator folds chunk extrema with the exact DataRange merge.
+// The per-chunk summary is O(1), so there is no mutable scan state to
+// carry; the accumulator exists so range queries ride the same engine
+// path as the other sketches.
+type rangeAccumulator struct {
+	sk  *RangeSketch
+	out *DataRange
+}
+
+// NewAccumulator implements AccumulatorSketch.
+func (s *RangeSketch) NewAccumulator() Accumulator {
+	return &rangeAccumulator{sk: s, out: s.Zero().(*DataRange)}
+}
+
+// Add implements Accumulator.
+func (a *rangeAccumulator) Add(t *table.Table) error {
+	r, err := a.sk.Summarize(t)
+	if err != nil {
+		return err
+	}
+	merged, err := a.sk.Merge(a.out, r)
+	if err != nil {
+		return err
+	}
+	a.out = merged.(*DataRange)
+	return nil
+}
+
+// Snapshot implements Accumulator. Add replaces out with a fresh value
+// rather than mutating it, so the current value is already immutable.
+func (a *rangeAccumulator) Snapshot() Result { return a.out }
+
+// Result implements Accumulator.
+func (a *rangeAccumulator) Result() Result { return a.out }
+
+// distinctAccumulator streams chunks into one mutable HLL. Register max
+// is associative and commutative, so streaming equals merging per-chunk
+// HLLs exactly — without the per-chunk register allocation — and the
+// dictionary hash table is cached per column.
+type distinctAccumulator struct {
+	sk      *DistinctCountSketch
+	out     *HLL
+	lastCol table.Column
+	hashes  []uint64
+}
+
+// NewAccumulator implements AccumulatorSketch.
+func (s *DistinctCountSketch) NewAccumulator() Accumulator {
+	return &distinctAccumulator{sk: s, out: s.Zero().(*HLL)}
+}
+
+// Add implements Accumulator.
+func (a *distinctAccumulator) Add(t *table.Table) error {
+	col, err := t.Column(a.sk.Col)
+	if err != nil {
+		return err
+	}
+	if sc, ok := col.(*table.StringColumn); ok && col != a.lastCol {
+		a.hashes = dictHashes(sc)
+		a.lastCol = col
+	}
+	a.sk.scanInto(a.out, t, col, a.hashes)
+	return nil
+}
+
+// Snapshot implements Accumulator.
+func (a *distinctAccumulator) Snapshot() Result {
+	return &HLL{Precision: a.out.Precision, Registers: append([]byte(nil), a.out.Registers...)}
+}
+
+// Result implements Accumulator.
+func (a *distinctAccumulator) Result() Result { return a.out }
+
+// mgAccumulator folds chunks into one mutable Misra–Gries state. For
+// dictionary string columns it continues the code-keyed stream across
+// chunks sharing one column (chunks of a partition share storage), and
+// flushes the code counters into the value-keyed merged state with the
+// mergeable-summaries rule only when the column — and with it the
+// dictionary — changes. Like any Misra–Gries merge order, the result
+// is exact to Summarize+Merge only within the N/(K+1) error bound.
+type mgAccumulator struct {
+	sk    *MisraGriesSketch
+	k     int
+	state *HeavyHitters
+	col   *table.StringColumn // column of the live code stream, nil when none
+	codes *mgCodes
+}
+
+// NewAccumulator implements AccumulatorSketch.
+func (s *MisraGriesSketch) NewAccumulator() Accumulator {
+	k := s.K
+	if k < 1 {
+		k = 1
+	}
+	return &mgAccumulator{sk: s, k: k, state: s.Zero().(*HeavyHitters)}
+}
+
+// flush merges the live code stream into the value-keyed state.
+func (a *mgAccumulator) flush() error {
+	if a.codes == nil {
+		return nil
+	}
+	merged, err := a.sk.Merge(a.state, a.codes.result(a.sk.K, a.col.Dict()))
+	if err != nil {
+		return err
+	}
+	a.state = merged.(*HeavyHitters)
+	a.col, a.codes = nil, nil
+	return nil
+}
+
+// Add implements Accumulator.
+func (a *mgAccumulator) Add(t *table.Table) error {
+	col, err := t.Column(a.sk.Col)
+	if err != nil {
+		return err
+	}
+	if sc, ok := col.(*table.StringColumn); ok {
+		if sc != a.col {
+			if err := a.flush(); err != nil {
+				return err
+			}
+			a.col, a.codes = sc, newMGCodes(a.k, sc.DictSize())
+		}
+		a.codes.scan(t.Members(), sc)
+		return nil
+	}
+	if err := a.flush(); err != nil {
+		return err
+	}
+	r, err := a.sk.Summarize(t)
+	if err != nil {
+		return err
+	}
+	merged, err := a.sk.Merge(a.state, r)
+	if err != nil {
+		return err
+	}
+	a.state = merged.(*HeavyHitters)
+	return nil
+}
+
+// Snapshot implements Accumulator. Merge never mutates its arguments,
+// so combining the flushed state with a conversion of the live code
+// stream leaves both usable.
+func (a *mgAccumulator) Snapshot() Result {
+	if a.codes == nil {
+		return a.state
+	}
+	merged, err := a.sk.Merge(a.state, a.codes.result(a.sk.K, a.col.Dict()))
+	if err != nil {
+		return a.state
+	}
+	return merged
+}
+
+// Result implements Accumulator.
+func (a *mgAccumulator) Result() Result {
+	if err := a.flush(); err != nil {
+		// Merge of two *HeavyHitters cannot fail; keep the flushed state.
+		return a.state
+	}
+	return a.state
+}

@@ -1,0 +1,316 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// chunkViews splits a table into n fixed physical-row-range chunk views
+// (sharing storage, like the engine's leaf tasks), keeping the engine's
+// "<id>#<start>" chunk ID scheme so sampled sketches derive the same
+// per-chunk seeds on both sides of an equivalence check.
+func chunkViews(tbl *table.Table, n int) []*table.Table {
+	max := tbl.Members().Max()
+	per := (max + n - 1) / n
+	if per < 1 {
+		per = 1
+	}
+	var out []*table.Table
+	for lo := 0; lo < max; lo += per {
+		hi := lo + per
+		if hi > max {
+			hi = max
+		}
+		out = append(out, tbl.Slice(fmt.Sprintf("%s#%d", tbl.ID(), lo), lo, hi))
+	}
+	return out
+}
+
+// accumulate folds the chunks through the sketch's accumulator.
+func accumulate(t *testing.T, sk AccumulatorSketch, chunks []*table.Table) Result {
+	t.Helper()
+	acc := sk.NewAccumulator()
+	for _, c := range chunks {
+		if err := acc.Add(c); err != nil {
+			t.Fatalf("%s: Add(%s): %v", sk.Name(), c.ID(), err)
+		}
+	}
+	return acc.Result()
+}
+
+// TestAccumulatorMatchesSummarizeMerge proves the Accumulator fast path
+// exactly equivalent to Summarize-per-chunk plus sequential Merge for
+// every deterministic accumulator sketch, across membership shapes,
+// column kinds, and missing masks.
+func TestAccumulatorMatchesSummarizeMerge(t *testing.T) {
+	for _, tc := range eqTables(4000) {
+		sketches := []AccumulatorSketch{
+			&HistogramSketch{Col: "im", Buckets: intSpec()},
+			&HistogramSketch{Col: "sm", Buckets: stringSpec()},
+			&HistogramSketch{Col: "cs", Buckets: exactStringSpec()},
+			&SampledHistogramSketch{Col: "dm", Buckets: doubleSpec(), Rate: 0.3, Seed: 7},
+			&SampledHistogramSketch{Col: "d", Buckets: doubleSpec(), Rate: 1.5, Seed: 8},
+			&CDFSketch{Col: "i", Buckets: intSpec(), Rate: 0.4, Seed: 9},
+			&CDFSketch{Col: "i", Buckets: intSpec()}, // rate 0: exact
+			&Histogram2DSketch{XCol: "im", YCol: "sm", X: intSpec(), Y: stringSpec()},
+			&Histogram2DSketch{XCol: "i", YCol: "d", X: intSpec(), Y: doubleSpec(), Rate: 0.5, Seed: 3},
+			&RangeSketch{Col: "dm"},
+			&RangeSketch{Col: "sm"},
+			&RangeSketch{Col: "ci"},
+			&DistinctCountSketch{Col: "sm"},
+			&DistinctCountSketch{Col: "i"},
+		}
+		chunks := chunkViews(tc.t, 5)
+		for _, sk := range sketches {
+			want, err := MergeAll(sk, summarizeParts(t, sk, chunks)...)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, sk.Name(), err)
+			}
+			got := accumulate(t, sk, chunks)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: accumulator differs from Summarize+Merge\n got %+v\nwant %+v",
+					tc.name, sk.Name(), got, want)
+			}
+		}
+	}
+}
+
+// TestAccumulatorSnapshotIsolation checks that a snapshot is immutable:
+// later Adds and the final Result must not change it.
+func TestAccumulatorSnapshotIsolation(t *testing.T) {
+	tc := eqTables(4000)[0]
+	chunks := chunkViews(tc.t, 4)
+	sketches := []AccumulatorSketch{
+		&HistogramSketch{Col: "i", Buckets: intSpec()},
+		&Histogram2DSketch{XCol: "i", YCol: "d", X: intSpec(), Y: doubleSpec()},
+		&RangeSketch{Col: "d"},
+		&DistinctCountSketch{Col: "s"},
+		&MisraGriesSketch{Col: "s", K: 4},
+	}
+	for _, sk := range sketches {
+		acc := sk.NewAccumulator()
+		if err := acc.Add(chunks[0]); err != nil {
+			t.Fatal(err)
+		}
+		snap := acc.Snapshot()
+		// The reference value of the snapshot: the first chunk's summary
+		// folded from Zero. This holds for the Misra–Gries accumulator
+		// too: with a single in-order chunk the code-keyed stream is
+		// exactly the Summarize scan.
+		r, err := sk.Summarize(chunks[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := MergeAll(sk, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(snap, want) {
+			t.Fatalf("%s: snapshot after one chunk differs from its summary\n got %+v\nwant %+v", sk.Name(), snap, want)
+		}
+		for _, c := range chunks[1:] {
+			if err := acc.Add(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		acc.Result()
+		if !reflect.DeepEqual(snap, want) {
+			t.Errorf("%s: later Adds mutated an earlier snapshot", sk.Name())
+		}
+	}
+}
+
+// TestMergeTreeMatchesSequentialFold proves the engine's pairwise merge
+// tree equal to the sequential MergeAll fold over shuffled chunk orders
+// for every shipped deterministic sketch (the Misra–Gries bound version
+// is TestMisraGriesMergeTreeGuarantee).
+func TestMergeTreeMatchesSequentialFold(t *testing.T) {
+	whole := genTable("mts", 6000, 77)
+	parts := splitTable(whole, 7)
+	catSpec := StringBucketsFromBounds([]string{"beta", "epsilon", "gamma"}, false)
+	sketches := []Sketch{
+		&HistogramSketch{Col: "x", Buckets: NumericBuckets(table.KindDouble, 0, 100, 13)},
+		&SampledHistogramSketch{Col: "x", Buckets: NumericBuckets(table.KindDouble, 0, 100, 13), Rate: 0.4, Seed: 5},
+		&CDFSketch{Col: "x", Buckets: NumericBuckets(table.KindDouble, 0, 100, 40), Rate: 0.3, Seed: 6},
+		&Histogram2DSketch{XCol: "x", YCol: "cat", X: NumericBuckets(table.KindDouble, 0, 100, 10), Y: catSpec},
+		&RangeSketch{Col: "x"},
+		&RangeSketch{Col: "cat"},
+		&DistinctCountSketch{Col: "id"},
+		&SampleHeavyHittersSketch{Col: "cat", K: 4, Rate: 0.5, Seed: 2},
+	}
+	rng := rand.New(rand.NewPCG(31, 32))
+	for _, sk := range sketches {
+		partials := summarizeParts(t, sk, parts)
+		want, err := MergeAll(sk, partials...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			shuffled := append([]Result(nil), partials...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			got, err := MergeTree(sk, shuffled...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s trial %d: merge tree over shuffled chunks differs from sequential fold", sk.Name(), trial)
+			}
+		}
+	}
+	// Moments carries floating-point power sums, whose addition is not
+	// associative: tree orders agree only to rounding.
+	msk := &MomentsSketch{Col: "x", K: 3}
+	partials := summarizeParts(t, msk, parts)
+	wantR, err := MergeAll(msk, partials...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantR.(*Moments)
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]Result(nil), partials...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		gotR, err := MergeTree(msk, shuffled...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := gotR.(*Moments)
+		if got.Count != want.Count || got.Missing != want.Missing || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("moments trial %d: exact fields differ", trial)
+		}
+		for i := range want.Sums {
+			if diff := math.Abs(got.Sums[i] - want.Sums[i]); diff > 1e-9*math.Abs(want.Sums[i]) {
+				t.Fatalf("moments trial %d: Sums[%d] = %g vs %g", trial, i, got.Sums[i], want.Sums[i])
+			}
+		}
+	}
+	// Zero inputs fold to Zero.
+	z, err := MergeTree(sketches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(z, sketches[0].Zero()) {
+		t.Error("empty MergeTree != Zero")
+	}
+}
+
+// TestMisraGriesMergeTreeGuarantee is the merge-order test for the one
+// approximation sketch: a pairwise tree over shuffled chunk orders must
+// keep the Misra–Gries guarantee (heavy values survive, counts are
+// lower bounds within N/(K+1)), though counter values may differ from
+// the sequential fold's.
+func TestMisraGriesMergeTreeGuarantee(t *testing.T) {
+	const n = 20000
+	const k = 8
+	tbl := genSkewedStrings("mgt", n, 0.35, 0.22, 58)
+	truth := exactCounts(tbl, "s")
+	sk := &MisraGriesSketch{Col: "s", K: k}
+	partials := summarizeParts(t, sk, splitTable(tbl, 6))
+	rng := rand.New(rand.NewPCG(41, 42))
+	errBound := int64(n)/int64(k+1) + 1
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]Result(nil), partials...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		merged, err := MergeTree(sk, shuffled...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hh := merged.(*HeavyHitters)
+		if len(hh.Counters) > k {
+			t.Fatalf("trial %d: %d > K counters", trial, len(hh.Counters))
+		}
+		if hh.ScannedRows != n {
+			t.Fatalf("trial %d: ScannedRows = %d", trial, hh.ScannedRows)
+		}
+		for v, c := range hh.Counters {
+			tc := truth[v.S]
+			if c > tc || tc-c > errBound {
+				t.Fatalf("trial %d: count for %q = %d, truth %d, bound %d", trial, v.S, c, tc, errBound)
+			}
+		}
+		for _, want := range []string{"v0", "v1"} {
+			if _, ok := hh.Counters[table.StringValue(want)]; !ok {
+				t.Fatalf("trial %d: heavy value %q lost", trial, want)
+			}
+		}
+	}
+}
+
+// TestMGAccumulatorContinuesStream: chunks of one partition share their
+// column, so the accumulator continues a single code-keyed stream and
+// the result is bit-identical to the unchunked Summarize.
+func TestMGAccumulatorContinuesStream(t *testing.T) {
+	tbl := genSkewedStrings("mgc", 20000, 0.4, 0.2, 61)
+	sk := &MisraGriesSketch{Col: "s", K: 10}
+	want, err := sk.Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := accumulate(t, sk, chunkViews(tbl, 7))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("chunked accumulator differs from whole-table scan\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestMGAccumulatorFlushAcrossColumns feeds one accumulator chunks of
+// partitions with different dictionaries plus a computed (non-dict)
+// column, exercising the flush-and-merge path, and re-checks the
+// Misra–Gries guarantee over the combined data.
+func TestMGAccumulatorFlushAcrossColumns(t *testing.T) {
+	const k = 10
+	a := genSkewedStrings("mgfa", 15000, 0.4, 0.2, 62)
+	b := genSkewedStrings("mgfb", 15000, 0.35, 0.25, 63)
+	// A third partition with a computed string column named "s".
+	vals := []string{"v0", "v0", "v1", "tail-zzz"}
+	comp := table.New("mgfc",
+		table.NewSchema(table.ColumnDesc{Name: "s", Kind: table.KindString}),
+		[]table.Column{table.NewComputedColumn(table.KindString, 4000, func(i int) table.Value {
+			return table.StringValue(vals[i%len(vals)])
+		})},
+		table.FullMembership(4000))
+
+	truth := exactCounts(a, "s")
+	for v, c := range exactCounts(b, "s") {
+		truth[v] += c
+	}
+	for v, c := range exactCounts(comp, "s") {
+		truth[v] += c
+	}
+	var n int64
+	for _, c := range truth {
+		n += c
+	}
+
+	sk := &MisraGriesSketch{Col: "s", K: k}
+	acc := sk.NewAccumulator()
+	for _, tbl := range []*table.Table{a, comp, b} {
+		for _, c := range chunkViews(tbl, 3) {
+			if err := acc.Add(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hh := acc.Result().(*HeavyHitters)
+	if hh.ScannedRows != n {
+		t.Fatalf("ScannedRows = %d, want %d", hh.ScannedRows, n)
+	}
+	if len(hh.Counters) > k {
+		t.Fatalf("%d > K counters", len(hh.Counters))
+	}
+	errBound := n/int64(k+1) + 1
+	for v, c := range hh.Counters {
+		tc := truth[v.S]
+		if c > tc || tc-c > errBound {
+			t.Errorf("count for %q = %d, truth %d, bound %d", v.S, c, tc, errBound)
+		}
+	}
+	for _, want := range []string{"v0", "v1"} {
+		if _, ok := hh.Counters[table.StringValue(want)]; !ok {
+			t.Errorf("heavy value %q lost across column flushes", want)
+		}
+	}
+}

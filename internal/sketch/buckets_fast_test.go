@@ -1,0 +1,161 @@
+package sketch
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// divisionIndex is the IndexValue contract: the division bucket form,
+// written out independently of the implementation under test.
+func divisionIndex(s BucketSpec, v float64) int {
+	if s.Count <= 0 || v < s.Min || v > s.Max {
+		return -1
+	}
+	if s.Max == s.Min {
+		return 0
+	}
+	i := int(float64(s.Count) * (v - s.Min) / (s.Max - s.Min))
+	if i >= s.Count {
+		i = s.Count - 1
+	}
+	return i
+}
+
+// checkSpecAgainstDivision compares IndexValue with the division form on
+// every bucket boundary, the ±4-ulp neighborhood of each, the endpoints,
+// and a swarm of random in-range values.
+func checkSpecAgainstDivision(t *testing.T, s BucketSpec, rng *rand.Rand) {
+	t.Helper()
+	probe := func(v float64) {
+		if got, want := s.IndexValue(v), divisionIndex(s, v); got != want {
+			t.Fatalf("spec %s (fast=%v): IndexValue(%g) = %d, division form = %d", s, s.FastIndex, v, got, want)
+		}
+	}
+	w := (s.Max - s.Min) / float64(s.Count)
+	for j := 0; j <= s.Count; j++ {
+		b := s.Min + float64(j)*w
+		probe(b)
+		up, down := b, b
+		for step := 0; step < 4; step++ {
+			up = math.Nextafter(up, math.Inf(1))
+			down = math.Nextafter(down, math.Inf(-1))
+			probe(up)
+			probe(down)
+		}
+	}
+	probe(s.Min)
+	probe(s.Max)
+	probe(math.Nextafter(s.Min, math.Inf(-1))) // just outside: both -1
+	probe(math.Nextafter(s.Max, math.Inf(1)))
+	for i := 0; i < 2000; i++ {
+		probe(s.Min + rng.Float64()*(s.Max-s.Min))
+	}
+}
+
+// TestFastIndexMatchesDivision is the property test for the reciprocal
+// bucket form: for fixed and random geometries, NumericBuckets either
+// verifies a fast form that agrees with the division form everywhere we
+// can probe (boundaries, ±ulp neighbors, random values) or falls back
+// to division outright.
+func TestFastIndexMatchesDivision(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	specs := []BucketSpec{
+		NumericBuckets(table.KindInt, 0, 1000000, 50),
+		NumericBuckets(table.KindDouble, 0, 3000, 25),
+		NumericBuckets(table.KindDouble, -273.15, 12345.678, 37),
+		NumericBuckets(table.KindDouble, 1e-9, 2e-9, 41),
+		NumericBuckets(table.KindDouble, -1e12, 1e12, 7),
+		NumericBuckets(table.KindDouble, 0, 0.1, 1000),
+		NumericBuckets(table.KindDouble, 5e-324, 1e-300, 13), // denormal edge
+	}
+	for i := 0; i < 60; i++ {
+		min := (rng.Float64() - 0.5) * math.Pow(10, rng.Float64()*16-8)
+		width := rng.Float64() * math.Pow(10, rng.Float64()*16-8)
+		if width <= 0 {
+			width = 1
+		}
+		specs = append(specs, NumericBuckets(table.KindDouble, min, min+width, 1+rng.IntN(2000)))
+	}
+	fastCount := 0
+	for _, s := range specs {
+		if s.FastIndex {
+			fastCount++
+		}
+		checkSpecAgainstDivision(t, s, rng)
+	}
+	if fastCount == 0 {
+		t.Fatal("no spec took the fast path; the property test is vacuous")
+	}
+	t.Logf("%d/%d specs verified for the reciprocal form", fastCount, len(specs))
+}
+
+// TestIndexValueNaN: NaN compares false against both bounds, so it must
+// be rejected as out-of-range by every index form — a NaN that reached
+// the int conversion would produce a platform-defined bucket and crash
+// the fused count kernels.
+func TestIndexValueNaN(t *testing.T) {
+	for _, s := range []BucketSpec{
+		NumericBuckets(table.KindDouble, 0, 100, 10),          // fast form
+		{Kind: table.KindDouble, Min: 0, Max: 100, Count: 10}, // division form
+		NumericBuckets(table.KindDouble, 5, 5, 4),             // degenerate
+	} {
+		if got := s.IndexValue(math.NaN()); got != -1 {
+			t.Errorf("spec %s: IndexValue(NaN) = %d, want -1", s, got)
+		}
+	}
+	// End to end: a double column holding NaN rows must histogram them
+	// as out-of-range, identically on the batch and scalar paths.
+	vals := []float64{1, math.NaN(), 50, math.NaN(), 99}
+	col := table.NewDoubleColumn(vals, nil)
+	tbl := table.New("nan",
+		table.NewSchema(table.ColumnDesc{Name: "d", Kind: table.KindDouble}),
+		[]table.Column{col}, table.FullMembership(len(vals)))
+	sk := &HistogramSketch{Col: "d", Buckets: NumericBuckets(table.KindDouble, 0, 100, 10)}
+	res, err := sk.Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.(*Histogram)
+	if h.OutOfRange != 2 || h.TotalCount() != 3 {
+		t.Errorf("NaN rows miscounted: outOfRange=%d total=%d", h.OutOfRange, h.TotalCount())
+	}
+	want := refHistogram(tbl, "d", sk.Buckets, 1, 0)
+	if !reflect.DeepEqual(res, want) {
+		t.Errorf("NaN handling differs between batch and reference paths")
+	}
+}
+
+// TestFastIndexFallback pins the geometries that must reject the
+// reciprocal form, and that rejected specs still honor the division
+// contract.
+func TestFastIndexFallback(t *testing.T) {
+	if s := NumericBuckets(table.KindDouble, -math.MaxFloat64, math.MaxFloat64, 10); s.FastIndex {
+		t.Error("overflowing width must fall back to division")
+	}
+	if _, ok := verifyFastIndex(0, 1, 1<<21); ok {
+		t.Error("oversized bucket count must fall back")
+	}
+	if _, ok := verifyFastIndex(math.NaN(), 1, 5); ok {
+		t.Error("NaN bound must fall back")
+	}
+	if _, ok := verifyFastIndex(3, 3, 5); ok {
+		t.Error("empty range must fall back")
+	}
+	if _, ok := verifyFastIndex(0, math.Inf(1), 5); ok {
+		t.Error("infinite bound must fall back")
+	}
+	// A literal spec (no verification ran) keeps the division form.
+	s := BucketSpec{Kind: table.KindDouble, Min: 0, Max: 100, Count: 10}
+	rng := rand.New(rand.NewPCG(7, 8))
+	checkSpecAgainstDivision(t, s, rng)
+	// The degenerate single-point range maps everything to bucket 0
+	// regardless of path.
+	p := NumericBuckets(table.KindDouble, 5, 5, 4)
+	if p.IndexValue(5) != 0 || p.IndexValue(4.9) != -1 {
+		t.Error("single-point range misroutes")
+	}
+}

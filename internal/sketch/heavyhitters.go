@@ -86,10 +86,13 @@ func (s *MisraGriesSketch) Zero() Result {
 }
 
 // Summarize implements Sketch. The decrement step pairs each decrement
-// with a prior increment, so the scan is amortized O(rows). Values are
-// materialized in batches (dictionary columns build each distinct Value
-// once) and fed to the update loop in scan order, so the result is
-// identical to the row-at-a-time path.
+// with a prior increment, so the scan is amortized O(rows). Dictionary
+// string columns run the code-keyed update (see mgCodes): counting by
+// int32 code instead of by table.Value removes the value hashing and
+// materialization that dominated the scan, and codes convert to Values
+// only once, at result time. Codes are in bijection with values within
+// one column and the update rule is step-for-step the value-keyed one,
+// so the result is identical to the row-at-a-time reference path.
 func (s *MisraGriesSketch) Summarize(t *table.Table) (Result, error) {
 	col, err := t.Column(s.Col)
 	if err != nil {
@@ -99,29 +102,182 @@ func (s *MisraGriesSketch) Summarize(t *table.Table) (Result, error) {
 	if k < 1 {
 		k = 1
 	}
+	if sc, ok := col.(*table.StringColumn); ok {
+		g := newMGCodes(k, sc.DictSize())
+		g.scan(t.Members(), sc)
+		return g.result(s.K, sc.Dict()), nil
+	}
 	out := &HeavyHitters{K: s.K, Counters: make(map[table.Value]int64, k+1)}
 	scanValues(t.Members(), col, func(vals []table.Value) {
 		out.ScannedRows += int64(len(vals))
-		for _, v := range vals {
-			if c, ok := out.Counters[v]; ok {
-				out.Counters[v] = c + 1
-				continue
-			}
-			if len(out.Counters) < k {
-				out.Counters[v] = 1
-				continue
-			}
-			// Decrement every counter; drop zeros.
-			for u, c := range out.Counters {
-				if c <= 1 {
-					delete(out.Counters, u)
-				} else {
-					out.Counters[u] = c - 1
-				}
-			}
-		}
+		mgUpdateValues(out.Counters, k, vals)
 	})
 	return out, nil
+}
+
+// mgUpdateValues streams a batch of values through the Misra–Gries
+// update rule into a value-keyed counter map.
+func mgUpdateValues(counters map[table.Value]int64, k int, vals []table.Value) {
+	for _, v := range vals {
+		if c, ok := counters[v]; ok {
+			counters[v] = c + 1
+			continue
+		}
+		if len(counters) < k {
+			counters[v] = 1
+			continue
+		}
+		// Decrement every counter; drop zeros.
+		for u, c := range counters {
+			if c <= 1 {
+				delete(counters, u)
+			} else {
+				counters[u] = c - 1
+			}
+		}
+	}
+}
+
+// mgDenseDictMax bounds the dictionary size for the dense code-keyed
+// Misra–Gries state; larger dictionaries use an int32-keyed map so
+// memory stays O(K), not O(dictionary).
+const mgDenseDictMax = 1 << 12
+
+// mgCodes is Misra–Gries keyed by dictionary code. Missing rows count
+// under the reserved code missCode. The update rule is step-for-step
+// the value-keyed reference scan (refMisraGries in batch_test.go), so
+// after the code→Value conversion at result time the summary is
+// bit-identical to that path.
+type mgCodes struct {
+	k        int
+	missCode int32
+	dense    []int64         // small dicts: counts indexed by code, missCode last
+	active   []int32         // dense path: codes with a positive count
+	m        map[int32]int64 // large dicts: code-keyed counters, missCode = -1
+	rows     int64
+}
+
+func newMGCodes(k, dictSize int) *mgCodes {
+	g := &mgCodes{k: k, missCode: int32(dictSize)}
+	if dictSize <= mgDenseDictMax {
+		g.dense = make([]int64, dictSize+1)
+		g.active = make([]int32, 0, k)
+	} else {
+		g.missCode = -1
+		g.m = make(map[int32]int64, k+1)
+	}
+	return g
+}
+
+// add inserts one occurrence of code: increment if counted, insert if a
+// counter is free, otherwise decrement every counter and drop zeros.
+// The scan loops inline the dense-increment hot case and call add only
+// for the rare insert/decrement transitions.
+func (g *mgCodes) add(code int32) {
+	if g.dense != nil {
+		if c := g.dense[code]; c > 0 {
+			g.dense[code] = c + 1
+			return
+		}
+		if len(g.active) < g.k {
+			g.dense[code] = 1
+			g.active = append(g.active, code)
+			return
+		}
+		w := g.active[:0]
+		for _, a := range g.active {
+			if g.dense[a]--; g.dense[a] > 0 {
+				w = append(w, a)
+			}
+		}
+		g.active = w
+		return
+	}
+	if c, ok := g.m[code]; ok {
+		g.m[code] = c + 1
+		return
+	}
+	if len(g.m) < g.k {
+		g.m[code] = 1
+		return
+	}
+	for a, c := range g.m {
+		if c <= 1 {
+			delete(g.m, a)
+		} else {
+			g.m[a] = c - 1
+		}
+	}
+}
+
+// scan feeds every member row's code to the update rule in Iterate
+// order, translating missing rows to missCode.
+func (g *mgCodes) scan(m table.Membership, sc *table.StringColumn) {
+	codes, miss := sc.Codes(), sc.MissingMask()
+	dense := g.dense
+	scanBatches(m,
+		func(a, b int) {
+			g.rows += int64(b - a)
+			if miss == nil && dense != nil {
+				for _, code := range codes[a:b] {
+					if c := dense[code]; c > 0 {
+						dense[code] = c + 1
+					} else {
+						g.add(code)
+					}
+				}
+				return
+			}
+			for k, code := range codes[a:b] {
+				if miss != nil && miss.Get(a+k) {
+					code = g.missCode
+				}
+				if dense != nil {
+					if c := dense[code]; c > 0 {
+						dense[code] = c + 1
+						continue
+					}
+				}
+				g.add(code)
+			}
+		},
+		func(rows []int32) {
+			g.rows += int64(len(rows))
+			for _, r := range rows {
+				code := codes[r]
+				if miss != nil && miss.Get(int(r)) {
+					code = g.missCode
+				}
+				if dense != nil {
+					if c := dense[code]; c > 0 {
+						dense[code] = c + 1
+						continue
+					}
+				}
+				g.add(code)
+			}
+		})
+}
+
+// result converts the code-keyed counters to the value-keyed summary.
+func (g *mgCodes) result(K int, dict []string) *HeavyHitters {
+	out := &HeavyHitters{K: K, Counters: make(map[table.Value]int64, g.k), ScannedRows: g.rows}
+	valueOf := func(code int32) table.Value {
+		if code == g.missCode {
+			return table.MissingValue(table.KindString)
+		}
+		return table.Value{Kind: table.KindString, S: dict[code]}
+	}
+	if g.dense != nil {
+		for _, code := range g.active {
+			out.Counters[valueOf(code)] = g.dense[code]
+		}
+		return out
+	}
+	for code, c := range g.m {
+		out.Counters[valueOf(code)] = c
+	}
+	return out
 }
 
 // Merge implements Sketch: add counters pointwise; if more than K

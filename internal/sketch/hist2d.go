@@ -135,6 +135,15 @@ func (s *Histogram2DSketch) Summarize(t *table.Table) (Result, error) {
 		return nil, err
 	}
 	h := s.Zero().(*Histogram2D)
+	s.scanInto(h, t, xIdx, yIdx)
+	return h, nil
+}
+
+// scanInto streams t's member rows (or their deterministic sample) into
+// h through the two batch bucket kernels. Extracted from Summarize so
+// accumulators can fold many chunks into one mutable summary with
+// cached indexers.
+func (s *Histogram2DSketch) scanInto(h *Histogram2D, t *table.Table, xIdx, yIdx BatchIndexer) {
 	xb := make([]int32, kernelBatch)
 	yb := make([]int32, kernelBatch)
 	yCount := int32(h.Y.Count)
@@ -172,7 +181,6 @@ func (s *Histogram2DSketch) Summarize(t *table.Table) (Result, error) {
 			tally(len(rows))
 		})
 	}
-	return h, nil
 }
 
 // Merge implements Sketch.

@@ -32,6 +32,18 @@
 // under a fixed seed) are bit-identical to the reference path, which
 // remains in the tree as the ComputedColumn fallback. Benchmarks:
 // BenchmarkKernel* in bench_test.go; recorded in BENCH_kernels.json.
+//
+// # Accumulators
+//
+// The hot sketches additionally implement AccumulatorSketch: a leaf
+// worker folds many chunks into one reusable mutable state (Add)
+// instead of allocating a Result per chunk and paying Merge each time,
+// snapshots it for progressive partials (Snapshot), and surrenders it
+// at the end (Result). Per-column scan state — batch indexers,
+// dictionary hash tables, the code-keyed Misra–Gries counters — is
+// cached across chunks sharing a column. For deterministic sketches the
+// accumulated summary equals Summarize+Merge exactly; Misra–Gries may
+// differ within its error bound, exactly as merge orders may.
 package sketch
 
 import "repro/internal/table"
@@ -73,6 +85,39 @@ type Sketch interface {
 	Merge(a, b Result) (Result, error)
 }
 
+// Accumulator is a reusable mutable fold state for one leaf worker: the
+// worker feeds it many partitions or chunks with Add instead of
+// allocating a fresh Result per chunk and paying Merge each time. For
+// deterministic sketches the accumulated summary must be exactly the
+// summary Summarize+Merge would produce over the same chunks;
+// approximation sketches (Misra–Gries) may differ within their error
+// bound, exactly as different merge orders may.
+//
+// Accumulators are not safe for concurrent use; the engine gives each
+// worker its own and serializes Add/Snapshot with a per-worker lock.
+type Accumulator interface {
+	// Add folds the member rows of one partition or chunk into the
+	// accumulator.
+	Add(t *table.Table) error
+	// Snapshot returns an immutable Result reflecting every Add so far;
+	// the accumulator remains usable. The engine merges snapshots from
+	// all workers into each progressive partial result.
+	Snapshot() Result
+	// Result returns the final accumulated summary. It may share the
+	// accumulator's internal state: the accumulator must not be used
+	// after Result is called.
+	Result() Result
+}
+
+// AccumulatorSketch is an optional Sketch extension for sketches with a
+// mutable fast-path fold. The engine uses it when present; Summarize
+// and Merge remain the reference semantics (and the wire path).
+type AccumulatorSketch interface {
+	Sketch
+	// NewAccumulator returns a fresh accumulator equivalent to Zero.
+	NewAccumulator() Accumulator
+}
+
 // Cacheable marks deterministic sketches whose results the engine may
 // store in the computation cache (paper §5.4: "useful for mergeable
 // summaries that provide auxiliary functionality, such as column
@@ -96,4 +141,31 @@ func MergeAll(sk Sketch, results ...Result) (Result, error) {
 		}
 	}
 	return acc, nil
+}
+
+// MergeTree folds a list of results with a pairwise merge tree:
+// neighbors merge level by level until one summary remains. Because
+// Merge is associative and commutative this equals the sequential fold;
+// the engine uses it to combine per-worker accumulator results, and for
+// n inputs it needs only ⌈log₂ n⌉ dependent merges.
+func MergeTree(sk Sketch, results ...Result) (Result, error) {
+	if len(results) == 0 {
+		return sk.Zero(), nil
+	}
+	work := append([]Result(nil), results...)
+	for len(work) > 1 {
+		next := work[:0]
+		for i := 0; i+1 < len(work); i += 2 {
+			m, err := sk.Merge(work[i], work[i+1])
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, m)
+		}
+		if len(work)%2 == 1 {
+			next = append(next, work[len(work)-1])
+		}
+		work = next
+	}
+	return work[0], nil
 }

@@ -73,10 +73,5 @@ func SliceRows(t *Table, id string, lo, hi int) *Table {
 // over any membership representation (see Restrict); all column storage
 // is shared.
 func (t *Table) Slice(id string, lo, hi int) *Table {
-	return &Table{
-		id:      id,
-		schema:  t.schema,
-		cols:    t.cols,
-		members: Restrict(t.members, lo, hi),
-	}
+	return t.WithMembership(id, Restrict(t.members, lo, hi))
 }

@@ -63,6 +63,18 @@ func (t *Table) MustColumn(name string) Column {
 	return c
 }
 
+// WithMembership returns a view of t with the given membership, sharing
+// all column storage. The membership's physical bound must match the
+// table's. Callers that already built a restricted membership (for
+// example to test whether a row range holds any members before creating
+// a scan task) use this instead of re-deriving it through Slice.
+func (t *Table) WithMembership(id string, m Membership) *Table {
+	if m.Max() != t.members.Max() {
+		panic(fmt.Sprintf("table: membership bound %d for table of %d physical rows", m.Max(), t.members.Max()))
+	}
+	return &Table{id: id, schema: t.schema, cols: t.cols, members: m}
+}
+
 // Filter returns a new table with id newID containing the member rows
 // for which keep returns true. Column storage is shared.
 func (t *Table) Filter(newID string, keep func(row int) bool) *Table {
