@@ -38,6 +38,27 @@
 // fixed seed, via per-chunk seeds derived from (seed, chunk start).
 // Kernel before/after numbers: BENCH_kernels.json.
 //
+// Correctness is guarded by a deterministic chaos harness
+// (internal/testkit): from a single seed it generates randomized
+// tables over every column kind, missing mask, dictionary size, and
+// membership shape (table.GenPartitions), then pushes every shipped
+// sketch through three execution topologies — reference
+// Summarize+sequential merge, the parallel accumulator engine (pinned
+// reproducible by engine.Config.StaticAssignment), and the real TCP
+// cluster path — and asserts agreement under per-sketch oracle
+// contracts (sketch.RegisterOracle: exact for deterministic sketches,
+// documented error bounds for Misra–Gries and sampling sketches). A
+// transport seam (cluster.Transport / cluster.FaultScript) then drives
+// the distributed path through scripted frame delays, mid-frame
+// stalls, duplicated partials, connection cuts, and worker crash
+// mid-sketch: non-destructive faults must be invisible, destructive
+// ones must surface as errors — never a hang, never a silently wrong
+// answer. Wire-facing decoders (the cluster frame codec, the HVC
+// reader) carry fuzz targets with checked-in corpora; malformed input
+// errors, never panics. CI runs the harness under -race with rotating
+// seeds, and every randomized test logs its seed on failure
+// (internal/testkit/seedtest).
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
 // bench_test.go regenerate each evaluation artifact at test scale;

@@ -25,11 +25,22 @@ type Client struct {
 	mu      sync.Mutex
 	pending map[uint64]chan *Envelope
 	closed  error
+	// done closes when the connection fails, waking every in-flight
+	// call. Per-request channels are never closed — readLoop may hold
+	// one across the failure, and a send on a closed channel would
+	// panic the whole root instead of failing one request.
+	done chan struct{}
 }
 
-// Dial connects to a worker.
+// Dial connects to a worker over TCP.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialTransport(TCPTransport{}, addr)
+}
+
+// DialTransport connects to a worker through an explicit transport
+// (tests inject FaultTransport here; production uses Dial).
+func DialTransport(tr Transport, addr string) (*Client, error) {
+	conn, err := tr.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -38,6 +49,7 @@ func Dial(addr string) (*Client, error) {
 		conn:    conn,
 		fc:      newFrameConn(conn),
 		pending: make(map[uint64]chan *Envelope),
+		done:    make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
@@ -69,23 +81,68 @@ func (c *Client) readLoop() {
 		c.mu.Lock()
 		ch := c.pending[env.ReqID]
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- env
+		if ch == nil {
+			continue // request already completed (e.g. a duplicated final)
+		}
+		// The reader must never block on a request's buffer: a consumer
+		// stalled inside its partial callback — or a request abandoned
+		// after a cancel-drain timeout — would wedge the connection's
+		// single reader, and with it every request multiplexed on it
+		// (the chaos harness turns that wedge into a root-wide hang).
+		if env.Kind == MsgPartial {
+			// Partials are cumulative; if the buffer is full, drop this
+			// one — a fresher snapshot follows.
+			select {
+			case ch <- env:
+			default:
+			}
+			continue
+		}
+		// Completion frames (final/ok/error) decide the request, so they
+		// must be delivered — but still without blocking. If the buffer
+		// is full, evict its oldest frame to make room: an evicted
+		// partial is safe to lose (cumulative), and an evicted
+		// completion means the request is already decided, making the
+		// new frame the redundant one. readLoop is the only sender, so
+		// the slot freed by an eviction cannot be stolen.
+		for delivered := false; !delivered; {
+			select {
+			case ch <- env:
+				delivered = true
+			default:
+				select {
+				case old := <-ch:
+					if old.Kind != MsgPartial {
+						ch <- old // put the deciding frame back
+						delivered = true
+					}
+				default:
+					// Consumer drained concurrently; retry the send.
+				}
+			}
 		}
 	}
 }
 
-// fail aborts all pending requests.
+// fail aborts all pending requests by closing the client-wide done
+// channel; each call cleans up its own pending entry on exit.
 func (c *Client) fail(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed == nil {
 		c.closed = err
+		close(c.done)
 	}
-	for id, ch := range c.pending {
-		close(ch)
-		delete(c.pending, id)
+}
+
+// abortErr reports why in-flight requests were aborted.
+func (c *Client) abortErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed != nil {
+		return c.closed
 	}
+	return errors.New("cluster: request aborted")
 }
 
 // call issues a request and invokes onFrame for every response frame
@@ -115,6 +172,7 @@ func (c *Client) call(ctx context.Context, env *Envelope, onFrame func(*Envelope
 		return err
 	}
 	for {
+		var resp *Envelope
 		select {
 		case <-ctx.Done():
 			// Out-of-band cancellation; the worker drops queued work.
@@ -123,37 +181,36 @@ func (c *Client) call(ctx context.Context, env *Envelope, onFrame func(*Envelope
 			// the final result that raced with the cancel.
 			for {
 				select {
-				case resp, ok := <-ch:
-					if !ok {
-						return ctx.Err()
-					}
+				case resp := <-ch:
 					if resp.Kind == MsgError || resp.Kind == MsgFinal || resp.Kind == MsgOK {
 						return ctx.Err()
 					}
+				case <-c.done:
+					return ctx.Err()
 				case <-time.After(5 * time.Second):
 					return ctx.Err()
 				}
 			}
-		case resp, ok := <-ch:
-			if !ok {
-				c.mu.Lock()
-				err := c.closed
-				c.mu.Unlock()
-				if err == nil {
-					err = errors.New("cluster: request aborted")
-				}
-				return err
+		case resp = <-ch:
+		case <-c.done:
+			// The connection failed; frames that arrived first may still
+			// be buffered (including the final result), so drain before
+			// giving up.
+			select {
+			case resp = <-ch:
+			default:
+				return c.abortErr()
 			}
-			if resp.Kind == MsgError {
-				if resp.ErrMissing {
-					return fmt.Errorf("%w: worker %s: %s", engine.ErrMissingDataset, c.addr, resp.Err)
-				}
-				return fmt.Errorf("cluster: worker %s: %s", c.addr, resp.Err)
+		}
+		if resp.Kind == MsgError {
+			if resp.ErrMissing {
+				return fmt.Errorf("%w: worker %s: %s", engine.ErrMissingDataset, c.addr, resp.Err)
 			}
-			done, err := onFrame(resp)
-			if err != nil || done {
-				return err
-			}
+			return fmt.Errorf("cluster: worker %s: %s", c.addr, resp.Err)
+		}
+		done, err := onFrame(resp)
+		if err != nil || done {
+			return err
 		}
 	}
 }

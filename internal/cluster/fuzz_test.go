@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// frameBytes encodes envelopes through the real frame writer, producing
+// well-formed seed input for the fuzzer.
+func frameBytes(t testing.TB, envs ...*Envelope) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fc := newFrameConn(&buf)
+	for _, env := range envs {
+		if err := fc.send(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzFrame feeds arbitrary bytes to the frame codec the cluster
+// protocol reads from the network. The contract under fuzzing: recv
+// either returns an envelope or an error — it must never panic and
+// never allocate unboundedly from attacker-controlled lengths (the
+// frame length is capped, and a declared length beyond the data simply
+// truncates).
+func FuzzFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})                // short header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // over-limit frame length
+	f.Add([]byte{0, 0, 0, 4, 1, 2, 3})    // truncated payload
+	f.Add([]byte{0, 0, 0, 2, 0xff, 0xbf}) // garbage gob
+	f.Add(frameBytes(f, &Envelope{ReqID: 1, Kind: MsgPing}))
+	f.Add(frameBytes(f,
+		&Envelope{ReqID: 2, Kind: MsgLoad, DatasetID: "d", Source: "flights:rows=1"},
+		&Envelope{ReqID: 2, Kind: MsgOK, NumLeaves: 3},
+	))
+	f.Add(frameBytes(f, &Envelope{
+		ReqID: 3, Kind: MsgSketch,
+		Sketch: &sketch.HistogramSketch{Col: "x", Buckets: sketch.NumericBuckets(table.KindDouble, 0, 1, 4)},
+	}))
+	f.Add(frameBytes(f, &Envelope{
+		ReqID: 4, Kind: MsgFinal,
+		Result: &sketch.Histogram{Counts: []int64{1, 2, 3}, SampleRate: 1},
+		Done:   1, Total: 2,
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fc := newFrameConn(struct {
+			io.Reader
+			io.Writer
+		}{bytes.NewReader(data), io.Discard})
+		for i := 0; i < 16; i++ {
+			env, err := fc.recv()
+			if err != nil {
+				return // malformed input must surface as an error
+			}
+			if env == nil {
+				t.Fatal("recv returned neither envelope nor error")
+			}
+		}
+	})
+}

@@ -56,11 +56,18 @@ type Cluster struct {
 	cfg     engine.Config
 }
 
-// Connect dials every worker address.
+// Connect dials every worker address over TCP.
 func Connect(addrs []string, cfg engine.Config) (*Cluster, error) {
+	return ConnectTransport(TCPTransport{}, addrs, cfg)
+}
+
+// ConnectTransport dials every worker address through an explicit
+// transport; the chaos harness passes FaultTransport here to drive the
+// whole distributed path through scripted network faults.
+func ConnectTransport(tr Transport, addrs []string, cfg engine.Config) (*Cluster, error) {
 	c := &Cluster{cfg: cfg}
 	for _, addr := range addrs {
-		cl, err := Dial(addr)
+		cl, err := DialTransport(tr, addr)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: connecting %s: %w", addr, err)

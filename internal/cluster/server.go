@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 
@@ -23,6 +24,10 @@ type Worker struct {
 	mu       sync.Mutex
 	datasets map[string]engine.IDataSet
 	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wrap     func(net.Conn) net.Conn
+	dupProb  float64
+	dupRNG   *rand.Rand
 	logf     func(format string, args ...any)
 }
 
@@ -31,6 +36,7 @@ func NewWorker(loader engine.Loader) *Worker {
 	return &Worker{
 		loader:   loader,
 		datasets: make(map[string]engine.IDataSet),
+		conns:    make(map[net.Conn]struct{}),
 		logf:     func(string, ...any) {},
 	}
 }
@@ -41,6 +47,57 @@ func (w *Worker) SetLogf(f func(string, ...any)) {
 		f = func(string, ...any) {}
 	}
 	w.logf = f
+}
+
+// SetConnWrapper interposes f on every subsequently accepted
+// connection — the worker-side half of the transport seam. The chaos
+// harness wraps accepted connections in NewFaultConn so the root→worker
+// stream (requests, cancels) suffers the same scripted faults the
+// root-side FaultTransport applies to the worker→root stream.
+func (w *Worker) SetConnWrapper(f func(net.Conn) net.Conn) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.wrap = f
+}
+
+// SetDuplicatePartials makes the worker re-send each streamed partial
+// result with the given probability (deterministic in seed) — the
+// duplicated-partial fault of the chaos harness. Unlike a byte-level
+// replay, the duplicate is a fresh, valid message in the stateful gob
+// stream, exactly what a retrying emission layer would produce. The
+// protocol tolerates it because partials are cumulative snapshots: the
+// root may apply any partial any number of times.
+func (w *Worker) SetDuplicatePartials(prob float64, seed uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.dupProb = prob
+	w.dupRNG = rand.New(rand.NewPCG(seed, seed^0xa54ff53a5f1d36f1))
+}
+
+// dupPartial decides whether to re-send one partial.
+func (w *Worker) dupPartial() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dupRNG != nil && w.dupRNG.Float64() < w.dupProb
+}
+
+// Crash simulates the worker process dying mid-work: every live
+// connection is hard-closed (in-flight requests on the root fail with a
+// connection error, exactly as with a real crash) and all soft state is
+// dropped. The listener stays open, playing the role of a supervisor
+// restarting the process with empty state (paper §5.8: workers are
+// stateless, so restart equals deleting all cached datasets).
+func (w *Worker) Crash() {
+	w.mu.Lock()
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.datasets = make(map[string]engine.IDataSet)
+	w.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 }
 
 // DropAll discards all soft state, simulating a worker restart.
@@ -91,6 +148,12 @@ func (w *Worker) acceptLoop(ln net.Listener) {
 			}
 			return
 		}
+		w.mu.Lock()
+		if w.wrap != nil {
+			conn = w.wrap(conn)
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
 		go w.serveConn(conn)
 	}
 }
@@ -100,7 +163,12 @@ func (w *Worker) acceptLoop(ln net.Listener) {
 // by the reader so they bypass any queued work (paper §5.3: "a high
 // priority cancellation message that bypasses the queuing mechanisms").
 func (w *Worker) serveConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+	}()
 	fc := newFrameConn(conn)
 	var (
 		mu      sync.Mutex
@@ -191,6 +259,9 @@ func (w *Worker) handle(ctx context.Context, fc *frameConn, env *Envelope) {
 		if !env.NoPartials {
 			onPartial = func(p engine.Partial) {
 				reply(&Envelope{Kind: MsgPartial, Result: p.Result, Done: p.Done, Total: p.Total})
+				if w.dupPartial() {
+					reply(&Envelope{Kind: MsgPartial, Result: p.Result, Done: p.Done, Total: p.Total})
+				}
 			}
 		}
 		res, err := ds.Sketch(ctx, env.Sketch, onPartial)

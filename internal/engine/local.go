@@ -250,10 +250,19 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 		cursor atomic.Int64
 		wg     sync.WaitGroup
 	)
-	for _, w := range workers {
+	for wi, w := range workers {
 		wg.Add(1)
-		go func(w *leafWorker) {
+		go func(wi int, w *leafWorker) {
 			defer wg.Done()
+			// Dynamic scheduling pulls from the shared cursor; static
+			// assignment (Config.StaticAssignment) walks a fixed stride
+			// so the chunk-to-worker mapping is a pure function of the
+			// configuration.
+			next := func() int { return int(cursor.Add(1)) - 1 }
+			if d.cfg.StaticAssignment {
+				i := wi - nw
+				next = func() int { i += nw; return i }
+			}
 			for {
 				// Cancellation removes enqueued work (paper §5.3);
 				// running chunks finish. The context is checked before
@@ -267,7 +276,7 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 				if stop {
 					return
 				}
-				i := int(cursor.Add(1)) - 1
+				i := next()
 				if i >= len(tasks) {
 					return
 				}
@@ -290,7 +299,7 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 					emitPartial()
 				}
 			}
-		}(w)
+		}(wi, w)
 	}
 	wg.Wait()
 	if firstErr != nil {

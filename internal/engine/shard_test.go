@@ -8,12 +8,17 @@ import (
 
 	"repro/internal/sketch"
 	"repro/internal/table"
+	"repro/internal/testkit/seedtest"
 )
 
 // shardParts builds partitions whose physical row counts exceed the test
 // chunk size, including filtered (bitmap/sparse membership) partitions.
-func shardParts() []*table.Table {
-	parts := genParts("sh", 3, 10000, 11)
+// Data derives from the test's seedtest seed: deterministic by default,
+// explorable via HILLVIEW_TEST_SEED, and logged on failure so any CI
+// failure replays locally. Assertions in these tests are structural
+// (task counts, ID schemes, equivalences), so they hold for every seed.
+func shardParts(t *testing.T) []*table.Table {
+	parts := genParts("sh", 3, 10000, seedtest.Seed(t))
 	// A dense filtered partition (bitmap membership) and a sparse one.
 	dense := parts[1].Filter("sh-p1/f", func(row int) bool {
 		return parts[1].MustColumn("x").Double(row) < 80
@@ -27,7 +32,7 @@ func shardParts() []*table.Table {
 // TestShardedScanMatchesUnsharded proves that chunked leaf scans fold to
 // the identical result for exact sketches, across membership shapes.
 func TestShardedScanMatchesUnsharded(t *testing.T) {
-	parts := shardParts()
+	parts := shardParts(t)
 	whole := NewLocal("w", parts, Config{AggregationWindow: -1, ChunkRows: -1})
 	sharded := NewLocal("w", parts, Config{AggregationWindow: -1, ChunkRows: 512})
 	sketches := []sketch.Sketch{
@@ -61,7 +66,7 @@ func TestShardedScanMatchesUnsharded(t *testing.T) {
 // (seed, chunk start), so the same configuration reproduces the same
 // result, and the total sample size stays consistent with the rate.
 func TestShardedSampledDeterminism(t *testing.T) {
-	parts := shardParts()
+	parts := shardParts(t)
 	ds := NewLocal("sd", parts, Config{AggregationWindow: -1, ChunkRows: 777})
 	sk := &sketch.SampledHistogramSketch{
 		Col:     "x",
@@ -93,7 +98,7 @@ func TestShardedSampledDeterminism(t *testing.T) {
 // TestShardedPartialAccounting checks that Done counts fully merged
 // partitions (not chunks) and reaches Total exactly at the end.
 func TestShardedPartialAccounting(t *testing.T) {
-	parts := shardParts()
+	parts := shardParts(t)
 	ds := NewLocal("pa", parts, Config{AggregationWindow: 1, ChunkRows: 512})
 	var partials []Partial
 	final, err := ds.Sketch(context.Background(), histSketch(), func(p Partial) {

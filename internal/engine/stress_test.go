@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/sketch"
 	"repro/internal/table"
+	"repro/internal/testkit/seedtest"
 )
 
 var errReplayMismatch = errors.New("replayed result differs")
@@ -86,7 +87,7 @@ func TestConcurrentQueriesAndDrops(t *testing.T) {
 // TestCancelParallelTree cancels a query running over an aggregation
 // tree and verifies both children observe the cancellation.
 func TestCancelParallelTree(t *testing.T) {
-	parts := genParts("cp", 32, 50000, 11)
+	parts := genParts("cp", 32, 50000, seedtest.Seed(t))
 	l1 := NewLocal("l1", parts[:16], Config{Parallelism: 1, AggregationWindow: time.Nanosecond})
 	l2 := NewLocal("l2", parts[16:], Config{Parallelism: 1, AggregationWindow: time.Nanosecond})
 	tree := NewParallel("tree", []IDataSet{l1, l2}, Config{AggregationWindow: time.Nanosecond})
@@ -109,7 +110,7 @@ func TestCancelParallelTree(t *testing.T) {
 
 // TestMapErrorInParallelTree verifies error propagation from any child.
 func TestMapErrorInParallelTree(t *testing.T) {
-	parts := genParts("me", 4, 100, 12)
+	parts := genParts("me", 4, 100, seedtest.Seed(t))
 	l1 := NewLocal("l1", parts[:2], Config{AggregationWindow: -1})
 	l2 := NewLocal("l2", parts[2:], Config{AggregationWindow: -1})
 	tree := NewParallel("t", []IDataSet{l1, l2}, Config{AggregationWindow: -1})

@@ -211,18 +211,20 @@ func (a *distinctAccumulator) Snapshot() Result {
 func (a *distinctAccumulator) Result() Result { return a.out }
 
 // mgAccumulator folds chunks into one mutable Misra–Gries state. For
-// dictionary string columns it continues the code-keyed stream across
-// chunks sharing one column (chunks of a partition share storage), and
-// flushes the code counters into the value-keyed merged state with the
-// mergeable-summaries rule only when the column — and with it the
-// dictionary — changes. Like any Misra–Gries merge order, the result
-// is exact to Summarize+Merge only within the N/(K+1) error bound.
+// stored columns it continues the keyed stream across chunks sharing
+// one column (chunks of a partition share storage) — code-keyed for
+// dictionary strings, int64-keyed for ints/dates/doubles — and flushes
+// the counters into the value-keyed merged state with the
+// mergeable-summaries rule only when the column changes. Like any
+// Misra–Gries merge order, the result is exact to Summarize+Merge only
+// within the N/(K+1) error bound.
 type mgAccumulator struct {
 	sk    *MisraGriesSketch
 	k     int
 	state *HeavyHitters
-	col   *table.StringColumn // column of the live code stream, nil when none
-	codes *mgCodes
+	col   table.Column // column of the live keyed stream, nil when none
+	codes *mgCodes     // live stream for dictionary columns...
+	typed *mgTyped     // ...or for stored numeric columns
 }
 
 // NewAccumulator implements AccumulatorSketch.
@@ -234,17 +236,30 @@ func (s *MisraGriesSketch) NewAccumulator() Accumulator {
 	return &mgAccumulator{sk: s, k: k, state: s.Zero().(*HeavyHitters)}
 }
 
-// flush merges the live code stream into the value-keyed state.
-func (a *mgAccumulator) flush() error {
-	if a.codes == nil {
+// live converts the live keyed stream (if any) to a summary.
+func (a *mgAccumulator) live() *HeavyHitters {
+	switch {
+	case a.codes != nil:
+		return a.codes.result(a.sk.K, a.col.(*table.StringColumn).Dict())
+	case a.typed != nil:
+		return a.typed.result(a.sk.K)
+	default:
 		return nil
 	}
-	merged, err := a.sk.Merge(a.state, a.codes.result(a.sk.K, a.col.Dict()))
+}
+
+// flush merges the live keyed stream into the value-keyed state.
+func (a *mgAccumulator) flush() error {
+	r := a.live()
+	if r == nil {
+		return nil
+	}
+	merged, err := a.sk.Merge(a.state, r)
 	if err != nil {
 		return err
 	}
 	a.state = merged.(*HeavyHitters)
-	a.col, a.codes = nil, nil
+	a.col, a.codes, a.typed = nil, nil, nil
 	return nil
 }
 
@@ -254,14 +269,24 @@ func (a *mgAccumulator) Add(t *table.Table) error {
 	if err != nil {
 		return err
 	}
-	if sc, ok := col.(*table.StringColumn); ok {
-		if sc != a.col {
+	switch c := col.(type) {
+	case *table.StringColumn:
+		if col != a.col {
 			if err := a.flush(); err != nil {
 				return err
 			}
-			a.col, a.codes = sc, newMGCodes(a.k, sc.DictSize())
+			a.col, a.codes = c, newMGCodes(a.k, c.DictSize())
 		}
-		a.codes.scan(t.Members(), sc)
+		a.codes.scan(t.Members(), c)
+		return nil
+	case *table.IntColumn, *table.DoubleColumn:
+		if col != a.col {
+			if err := a.flush(); err != nil {
+				return err
+			}
+			a.col, a.typed = col, newMGTyped(a.k, col.Kind())
+		}
+		a.typed.scan(t.Members(), col)
 		return nil
 	}
 	if err := a.flush(); err != nil {
@@ -280,13 +305,14 @@ func (a *mgAccumulator) Add(t *table.Table) error {
 }
 
 // Snapshot implements Accumulator. Merge never mutates its arguments,
-// so combining the flushed state with a conversion of the live code
+// so combining the flushed state with a conversion of the live keyed
 // stream leaves both usable.
 func (a *mgAccumulator) Snapshot() Result {
-	if a.codes == nil {
+	r := a.live()
+	if r == nil {
 		return a.state
 	}
-	merged, err := a.sk.Merge(a.state, a.codes.result(a.sk.K, a.col.Dict()))
+	merged, err := a.sk.Merge(a.state, r)
 	if err != nil {
 		return a.state
 	}

@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/table"
@@ -90,9 +91,12 @@ func (s *MisraGriesSketch) Zero() Result {
 // string columns run the code-keyed update (see mgCodes): counting by
 // int32 code instead of by table.Value removes the value hashing and
 // materialization that dominated the scan, and codes convert to Values
-// only once, at result time. Codes are in bijection with values within
-// one column and the update rule is step-for-step the value-keyed one,
-// so the result is identical to the row-at-a-time reference path.
+// only once, at result time. Stored int, date, and double columns run
+// the analogous typed-key update (see mgTyped) over their backing
+// slices. Both keyings are in bijection with values within one column
+// and the update rule is step-for-step the value-keyed one, so the
+// result is identical to the row-at-a-time reference path; only
+// computed columns still stream table.Value map keys.
 func (s *MisraGriesSketch) Summarize(t *table.Table) (Result, error) {
 	col, err := t.Column(s.Col)
 	if err != nil {
@@ -102,10 +106,15 @@ func (s *MisraGriesSketch) Summarize(t *table.Table) (Result, error) {
 	if k < 1 {
 		k = 1
 	}
-	if sc, ok := col.(*table.StringColumn); ok {
-		g := newMGCodes(k, sc.DictSize())
-		g.scan(t.Members(), sc)
-		return g.result(s.K, sc.Dict()), nil
+	switch c := col.(type) {
+	case *table.StringColumn:
+		g := newMGCodes(k, c.DictSize())
+		g.scan(t.Members(), c)
+		return g.result(s.K, c.Dict()), nil
+	case *table.IntColumn, *table.DoubleColumn:
+		g := newMGTyped(k, col.Kind())
+		g.scan(t.Members(), col)
+		return g.result(s.K), nil
 	}
 	out := &HeavyHitters{K: s.K, Counters: make(map[table.Value]int64, k+1)}
 	scanValues(t.Members(), col, func(vals []table.Value) {
@@ -257,6 +266,142 @@ func (g *mgCodes) scan(m table.Membership, sc *table.StringColumn) {
 				g.add(code)
 			}
 		})
+}
+
+// mgKey is the typed Misra–Gries counter key for numeric columns: the
+// raw int64 value (or the IEEE bits of a double) plus a missing flag,
+// since missing rows are a distinct stream symbol in the value-keyed
+// reference scan. Hashing a 9-byte struct beats hashing a table.Value,
+// whose string field drags every map operation through memory it never
+// uses on numeric columns.
+type mgKey struct {
+	bits int64
+	miss bool
+}
+
+// mgTyped is Misra–Gries keyed by int64 for stored numeric columns
+// (ints, dates, doubles), mirroring the code-keyed dictionary path. The
+// key is in bijection with table.Value map-key equality: -0.0
+// normalizes to +0.0 because Go map keys compare floats with ==, under
+// which the two zeros are one key. (NaN is the one divergence: the
+// reference path can never look a NaN key up again, so every NaN row
+// inserts a fresh counter, while bit keying folds equal-payload NaNs
+// together. The generator-driven oracle never produces NaN; columns
+// model absent data with missing bits.)
+type mgTyped struct {
+	k    int
+	kind table.Kind
+	m    map[mgKey]int64
+	rows int64
+}
+
+func newMGTyped(k int, kind table.Kind) *mgTyped {
+	return &mgTyped{k: k, kind: kind, m: make(map[mgKey]int64, k+1)}
+}
+
+// add runs the update rule for one occurrence of key: increment if
+// counted, insert if a counter is free, otherwise decrement every
+// counter and drop zeros.
+func (g *mgTyped) add(key mgKey) {
+	if c, ok := g.m[key]; ok {
+		g.m[key] = c + 1
+		return
+	}
+	if len(g.m) < g.k {
+		g.m[key] = 1
+		return
+	}
+	for u, c := range g.m {
+		if c <= 1 {
+			delete(g.m, u)
+		} else {
+			g.m[u] = c - 1
+		}
+	}
+}
+
+// doubleKey maps a float64 to its counter key, folding -0.0 into +0.0.
+func doubleKey(v float64) mgKey {
+	if v == 0 {
+		v = 0
+	}
+	return mgKey{bits: int64(math.Float64bits(v))}
+}
+
+// scan feeds every member row's key to the update rule in Iterate
+// order, reading the column's backing slice directly.
+func (g *mgTyped) scan(m table.Membership, col table.Column) {
+	missKey := mgKey{miss: true}
+	switch c := col.(type) {
+	case *table.IntColumn:
+		vals, miss := c.Ints(), c.MissingMask()
+		scanBatches(m,
+			func(a, b int) {
+				g.rows += int64(b - a)
+				for k, v := range vals[a:b] {
+					if miss.Get(a + k) {
+						g.add(missKey)
+					} else {
+						g.add(mgKey{bits: v})
+					}
+				}
+			},
+			func(rows []int32) {
+				g.rows += int64(len(rows))
+				for _, r := range rows {
+					if miss.Get(int(r)) {
+						g.add(missKey)
+					} else {
+						g.add(mgKey{bits: vals[r]})
+					}
+				}
+			})
+	case *table.DoubleColumn:
+		vals, miss := c.Doubles(), c.MissingMask()
+		scanBatches(m,
+			func(a, b int) {
+				g.rows += int64(b - a)
+				for k, v := range vals[a:b] {
+					if miss.Get(a + k) {
+						g.add(missKey)
+					} else {
+						g.add(doubleKey(v))
+					}
+				}
+			},
+			func(rows []int32) {
+				g.rows += int64(len(rows))
+				for _, r := range rows {
+					if miss.Get(int(r)) {
+						g.add(missKey)
+					} else {
+						g.add(doubleKey(vals[r]))
+					}
+				}
+			})
+	}
+}
+
+// result converts the typed counters to the value-keyed summary.
+func (g *mgTyped) result(K int) *HeavyHitters {
+	out := &HeavyHitters{K: K, Counters: make(map[table.Value]int64, len(g.m)), ScannedRows: g.rows}
+	for key, c := range g.m {
+		out.Counters[g.value(key)] = c
+	}
+	return out
+}
+
+// value materializes one counter key as the table.Value the reference
+// scan would have used.
+func (g *mgTyped) value(key mgKey) table.Value {
+	switch {
+	case key.miss:
+		return table.MissingValue(g.kind)
+	case g.kind == table.KindDouble:
+		return table.DoubleValue(math.Float64frombits(uint64(key.bits)))
+	default:
+		return table.Value{Kind: g.kind, I: key.bits}
+	}
 }
 
 // result converts the code-keyed counters to the value-keyed summary.

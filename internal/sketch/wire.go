@@ -2,6 +2,35 @@ package sketch
 
 import "encoding/gob"
 
+// wireSketches holds one prototype per shipped sketch type. It is the
+// single source of truth for "every sketch in the system": gob wire
+// registration ranges over it, and the testkit differential oracle
+// asserts it covers exactly this list (a sketch added here without an
+// Oracle registration fails the harness coverage test).
+var wireSketches = []Sketch{
+	&HistogramSketch{},
+	&SampledHistogramSketch{},
+	&CDFSketch{},
+	&Histogram2DSketch{},
+	&TrellisSketch{},
+	&NextKSketch{},
+	&FindTextSketch{},
+	&QuantileSketch{},
+	&MisraGriesSketch{},
+	&SampleHeavyHittersSketch{},
+	&RangeSketch{},
+	&MomentsSketch{},
+	&DistinctCountSketch{},
+	&DistinctBottomKSketch{},
+	&PCASketch{},
+	&MetaSketch{},
+}
+
+// WireSketches returns a copy of the shipped sketch prototypes.
+func WireSketches() []Sketch {
+	return append([]Sketch(nil), wireSketches...)
+}
+
 // init registers every sketch and summary type with encoding/gob so that
 // sketches can be shipped to remote workers and summaries shipped back
 // (paper §5.5: a vizketch needs "a serializable type for the summary").
@@ -24,20 +53,7 @@ func init() {
 	gob.Register(&TableMeta{})
 
 	// Sketches.
-	gob.Register(&HistogramSketch{})
-	gob.Register(&SampledHistogramSketch{})
-	gob.Register(&CDFSketch{})
-	gob.Register(&Histogram2DSketch{})
-	gob.Register(&TrellisSketch{})
-	gob.Register(&NextKSketch{})
-	gob.Register(&FindTextSketch{})
-	gob.Register(&QuantileSketch{})
-	gob.Register(&MisraGriesSketch{})
-	gob.Register(&SampleHeavyHittersSketch{})
-	gob.Register(&RangeSketch{})
-	gob.Register(&MomentsSketch{})
-	gob.Register(&DistinctCountSketch{})
-	gob.Register(&DistinctBottomKSketch{})
-	gob.Register(&PCASketch{})
-	gob.Register(&MetaSketch{})
+	for _, s := range wireSketches {
+		gob.Register(s)
+	}
 }

@@ -183,7 +183,12 @@ type hvcHeader struct {
 	offsets []uint64
 }
 
-func readHVCHeader(r io.Reader) (*hvcHeader, error) {
+// readHVCHeader decodes and validates the header. size is the total
+// input length: every declared count is checked against it before
+// allocation, so a malformed or adversarial header produces an error,
+// never a panic or an allocation larger than O(size) (the FuzzHVC
+// contract).
+func readHVCHeader(r io.Reader, size int64) (*hvcHeader, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReader(r)
@@ -203,11 +208,26 @@ func readHVCHeader(r io.Reader) (*hvcHeader, error) {
 	if err := binary.Read(br, binary.LittleEndian, &numRows); err != nil {
 		return nil, err
 	}
+	// Every column costs at least 2 header bytes (name length, kind), an
+	// 8-byte offset, and a 1-byte block; every row at least 1 payload
+	// byte per int/string column (8 for doubles). A zero-column header
+	// is degenerate but allocation-free, and the writer emits one for a
+	// zero-column table, so it round-trips rather than erroring.
+	if int64(numCols) > size/10 {
+		return nil, fmt.Errorf("storage: hvc header declares %d columns in a %d-byte file", numCols, size)
+	}
+	if numRows > uint64(size) {
+		return nil, fmt.Errorf("storage: hvc header declares %d rows in a %d-byte file", numRows, size)
+	}
 	cols := make([]table.ColumnDesc, numCols)
+	seen := make(map[string]bool, numCols)
 	for i := range cols {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
+		}
+		if n > uint64(size) {
+			return nil, fmt.Errorf("storage: hvc column name of %d bytes in a %d-byte file", n, size)
 		}
 		name := make([]byte, n)
 		if _, err := io.ReadFull(br, name); err != nil {
@@ -217,23 +237,37 @@ func readHVCHeader(r io.Reader) (*hvcHeader, error) {
 		if err != nil {
 			return nil, err
 		}
+		switch table.Kind(kind) {
+		case table.KindInt, table.KindDouble, table.KindString, table.KindDate:
+		default:
+			return nil, fmt.Errorf("storage: hvc column %q has unknown kind %d", name, kind)
+		}
+		if seen[string(name)] {
+			return nil, fmt.Errorf("storage: hvc duplicate column %q", name)
+		}
+		seen[string(name)] = true
 		cols[i] = table.ColumnDesc{Name: string(name), Kind: table.Kind(kind)}
 	}
 	offsets := make([]uint64, numCols)
 	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
 		return nil, err
 	}
+	for i, off := range offsets {
+		if off > uint64(size) {
+			return nil, fmt.Errorf("storage: hvc column %d block offset %d beyond %d-byte file", i, off, size)
+		}
+	}
 	return &hvcHeader{schema: table.NewSchema(cols...), rows: int(numRows), offsets: offsets}, nil
 }
 
 // ReadHVCSchema returns the schema and row count without reading data.
 func ReadHVCSchema(path string) (*table.Schema, int, error) {
-	f, err := os.Open(path)
+	f, size, err := openSized(path)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer f.Close()
-	h, err := readHVCHeader(bufio.NewReader(f))
+	h, err := readHVCHeader(bufio.NewReader(f), size)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -242,22 +276,50 @@ func ReadHVCSchema(path string) (*table.Schema, int, error) {
 
 // ReadHVC loads the whole file as a table with the given ID.
 func ReadHVC(path, id string) (*table.Table, error) {
-	return readHVC(path, id, nil)
+	return readHVCPath(path, id, nil)
 }
 
 // ReadHVCColumns loads only the named columns — the columnar access
 // path: each column block is seeked to directly.
 func ReadHVCColumns(path, id string, cols []string) (*table.Table, error) {
-	return readHVC(path, id, cols)
+	return readHVCPath(path, id, cols)
 }
 
-func readHVC(path, id string, cols []string) (*table.Table, error) {
+// ReadHVCBytes decodes an in-memory HVC image. It is the entry point of
+// the FuzzHVC target: malformed input of any shape must produce an
+// error, never a panic.
+func ReadHVCBytes(data []byte, id string) (*table.Table, error) {
+	return readHVC(bytes.NewReader(data), int64(len(data)), id, nil)
+}
+
+func openSized(path string) (*os.File, int64, error) {
 	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, info.Size(), nil
+}
+
+func readHVCPath(path, id string, cols []string) (*table.Table, error) {
+	f, size, err := openSized(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	h, err := readHVCHeader(bufio.NewReader(f))
+	t, err := readHVC(f, size, id, cols)
+	if err != nil {
+		return nil, fmt.Errorf("storage: hvc %s: %w", path, err)
+	}
+	return t, nil
+}
+
+func readHVC(f io.ReadSeeker, size int64, id string, cols []string) (*table.Table, error) {
+	h, err := readHVCHeader(bufio.NewReader(f), size)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +332,7 @@ func readHVC(path, id string, cols []string) (*table.Table, error) {
 		for _, name := range cols {
 			i := h.schema.ColumnIndex(name)
 			if i < 0 {
-				return nil, fmt.Errorf("storage: hvc %s: no column %q", path, name)
+				return nil, fmt.Errorf("no column %q", name)
 			}
 			want = append(want, i)
 		}
@@ -281,9 +343,9 @@ func readHVC(path, id string, cols []string) (*table.Table, error) {
 		if _, err := f.Seek(int64(h.offsets[ci]), io.SeekStart); err != nil {
 			return nil, err
 		}
-		col, err := decodeColumn(bufio.NewReaderSize(f, 1<<20), h.schema.Columns[ci].Kind, h.rows)
+		col, err := decodeColumn(bufio.NewReaderSize(f, 1<<20), h.schema.Columns[ci].Kind, h.rows, size)
 		if err != nil {
-			return nil, fmt.Errorf("storage: hvc %s column %q: %w", path, h.schema.Columns[ci].Name, err)
+			return nil, fmt.Errorf("column %q: %w", h.schema.Columns[ci].Name, err)
 		}
 		outCols[k] = col
 		outDesc[k] = h.schema.Columns[ci]
@@ -291,7 +353,7 @@ func readHVC(path, id string, cols []string) (*table.Table, error) {
 	return table.New(id, table.NewSchema(outDesc...), outCols, table.FullMembership(h.rows)), nil
 }
 
-func decodeColumn(br *bufio.Reader, kind table.Kind, rows int) (table.Column, error) {
+func decodeColumn(br *bufio.Reader, kind table.Kind, rows int, size int64) (table.Column, error) {
 	hasMissing, err := br.ReadByte()
 	if err != nil {
 		return nil, err
@@ -329,11 +391,18 @@ func decodeColumn(br *bufio.Reader, kind table.Kind, rows int) (table.Column, er
 		if err != nil {
 			return nil, err
 		}
+		// Every dictionary entry costs at least one length byte.
+		if dictLen > uint64(size) {
+			return nil, fmt.Errorf("dictionary of %d entries in a %d-byte file", dictLen, size)
+		}
 		dict := make([]string, dictLen)
 		for i := range dict {
 			n, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, err
+			}
+			if n > uint64(size) {
+				return nil, fmt.Errorf("dictionary entry of %d bytes in a %d-byte file", n, size)
 			}
 			b := make([]byte, n)
 			if _, err := io.ReadFull(br, b); err != nil {

@@ -215,7 +215,7 @@ func TestHVCFilteredViewFlattens(t *testing.T) {
 }
 
 func TestHVCBadMagic(t *testing.T) {
-	if _, err := readHVCHeader(bytes.NewReader([]byte("JUNKJUNKJUNK"))); err == nil {
+	if _, err := readHVCHeader(bytes.NewReader([]byte("JUNKJUNKJUNK")), 12); err == nil {
 		t.Error("bad magic should fail")
 	}
 }

@@ -1,0 +1,52 @@
+// Package seedtest gives randomized tests one deterministic seeded RNG
+// whose seed is logged and overridable, so any failure — local or CI —
+// reproduces exactly from its log output.
+//
+// Usage:
+//
+//	rng, seed := seedtest.Rand(t)
+//
+// The default seed derives from the test name, so every test gets a
+// distinct but stable stream and plain `go test` runs are fully
+// reproducible. Set HILLVIEW_TEST_SEED to explore other streams (or to
+// replay a seed printed by a failing run of a test that adds its own
+// offset). The seed is reported with t.Logf, which the test runner
+// prints exactly when the test fails — the reproduction recipe ships
+// inside the failure output.
+package seedtest
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// envVar overrides the derived seed when set.
+const envVar = "HILLVIEW_TEST_SEED"
+
+// Seed returns the deterministic seed for t and logs it so a failure
+// names its own reproduction.
+func Seed(t testing.TB) uint64 {
+	var seed uint64
+	if env := os.Getenv(envVar); env != "" {
+		v, err := strconv.ParseUint(env, 10, 64)
+		if err != nil {
+			t.Fatalf("seedtest: bad %s=%q: %v", envVar, env, err)
+		}
+		seed = v
+	} else {
+		h := fnv.New64a()
+		h.Write([]byte(t.Name()))
+		seed = h.Sum64()
+	}
+	t.Logf("seedtest: seed=%d (reproduce with %s=%d)", seed, envVar, seed)
+	return seed
+}
+
+// Rand returns a PCG stream seeded by Seed(t), plus the seed itself.
+func Rand(t testing.TB) (*rand.Rand, uint64) {
+	seed := Seed(t)
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)), seed
+}

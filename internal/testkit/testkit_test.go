@@ -1,0 +1,93 @@
+package testkit
+
+import (
+	"flag"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/table"
+	"repro/internal/testkit/seedtest"
+)
+
+// CI invokes the harness with rotating seeds:
+//
+//	go test -race ./internal/testkit -testkit.seeds=20 -testkit.base=$RUN
+//
+// so every CI run explores a fresh seed window while any failure names
+// the exact seed to replay locally.
+var (
+	seedsFlag  = flag.Int("testkit.seeds", 4, "number of three-way oracle seeds to run")
+	faultsFlag = flag.Int("testkit.faultseeds", 2, "number of fault-battery seeds to run")
+	baseFlag   = flag.Uint64("testkit.base", 1, "first seed of the window")
+)
+
+// TestOracleSeeds runs the three-way differential oracle across the
+// seed window.
+func TestOracleSeeds(t *testing.T) {
+	for i := 0; i < *seedsFlag; i++ {
+		seed := *baseFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			if err := Run(seed); err != nil {
+				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestOracleSeeds/seed=%d$' -testkit.base=%d -testkit.seeds=1", err, seed, seed)
+			}
+		})
+	}
+}
+
+// TestFaultSchedules runs the fault battery across its seed window.
+func TestFaultSchedules(t *testing.T) {
+	for i := 0; i < *faultsFlag; i++ {
+		seed := *baseFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			if err := RunFaults(seed); err != nil {
+				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestFaultSchedules/seed=%d$' -testkit.base=%d -testkit.faultseeds=1", err, seed, seed)
+			}
+		})
+	}
+}
+
+// TestOracleCoversWireSketches pins the acceptance criterion: every
+// sketch registered on the wire has an oracle contract AND at least one
+// harness instance exercising it.
+func TestOracleCoversWireSketches(t *testing.T) {
+	_, info := table.GenPartitions("cov", 1, 64, 1)
+	have := map[reflect.Type]int{}
+	for _, sk := range instances(1, info) {
+		have[reflect.TypeOf(sk)]++
+	}
+	for _, proto := range sketch.WireSketches() {
+		typ := reflect.TypeOf(proto)
+		if _, ok := sketch.OracleFor(proto); !ok {
+			t.Errorf("%v: wire-registered but no oracle contract", typ)
+		}
+		if have[typ] == 0 {
+			t.Errorf("%v: wire-registered but no harness instance runs it", typ)
+		}
+	}
+}
+
+// TestGenPartitionsDeterministic pins the generator property the
+// cluster topology depends on: identical arguments produce
+// bit-identical partitions, including IDs, across calls (and therefore
+// across processes).
+func TestGenPartitionsDeterministic(t *testing.T) {
+	_, seed := seedtest.Rand(t)
+	a, infoA := table.GenPartitions("det", seed, 500, 3)
+	b, infoB := table.GenPartitions("det", seed, 500, 3)
+	if !reflect.DeepEqual(infoA, infoB) {
+		t.Fatal("GenInfo not deterministic")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("partition counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID() != b[i].ID() {
+			t.Errorf("partition %d IDs differ: %q vs %q", i, a[i].ID(), b[i].ID())
+		}
+		if !reflect.DeepEqual(a[i].Rows(), b[i].Rows()) {
+			t.Errorf("partition %d rows differ", i)
+		}
+	}
+}
