@@ -1,11 +1,14 @@
 // Command hillview-gen materializes the synthetic flights dataset as
 // data files for the storage layer: CSV, JSON lines, or the columnar
-// .hvc format. Use it to prepare shards for worker machines or cold-
-// start benchmarks (Figure 6).
+// .hvc format — "hvc" for the varint v1 layout, "hvc2" for the
+// mmap-native aligned layout the column store serves zero-copy (both
+// use the .hvc extension; readers dispatch on the magic). Use it to
+// prepare shards for worker machines or cold-start benchmarks
+// (Figure 6).
 //
 // Usage:
 //
-//	hillview-gen -rows 1000000 -parts 8 -cols 110 -format hvc -out ./data
+//	hillview-gen -rows 1000000 -parts 8 -cols 110 -format hvc2 -out ./data
 package main
 
 import (
@@ -25,7 +28,7 @@ func main() {
 	parts := flag.Int("parts", 8, "number of files (shards)")
 	cols := flag.Int("cols", flights.CoreColumns, "schema width (padding columns beyond the core 20)")
 	seed := flag.Uint64("seed", 1, "generator seed")
-	format := flag.String("format", "hvc", "output format: csv, jsonl, or hvc")
+	format := flag.String("format", "hvc2", "output format: csv, jsonl, hvc (v1), or hvc2 (mmap-native)")
 	out := flag.String("out", "data", "output directory")
 	flag.Parse()
 
@@ -40,14 +43,20 @@ func main() {
 			return storage.WriteJSONL(path, t)
 		case "hvc":
 			return storage.WriteHVC(path, t)
+		case "hvc2":
+			return storage.WriteHVC2(path, t)
 		default:
 			return fmt.Errorf("unknown format %q", *format)
 		}
 	}
+	ext := *format
+	if ext == "hvc2" {
+		ext = "hvc" // both versions share the extension; readers sniff the magic
+	}
 	partsList := flights.GenPartitions("flights", *rows, *parts, *seed, *cols)
 	total := 0
 	for i, t := range partsList {
-		path := filepath.Join(*out, fmt.Sprintf("flights-%03d.%s", i, *format))
+		path := filepath.Join(*out, fmt.Sprintf("flights-%03d.%s", i, ext))
 		if err := write(path, t); err != nil {
 			log.Fatalf("hillview-gen: %s: %v", path, err)
 		}

@@ -8,7 +8,12 @@
 //
 // Usage:
 //
-//	hillview-worker -listen :8100 [-micro 250000] [-parallelism 0]
+//	hillview-worker -listen :8100 [-micro 250000] [-parallelism 0] [-pool-budget 256M]
+//
+// HVC sources are served through the memory-mapped column store: column
+// data is loaded lazily per scan, pinned while in use, and evicted
+// under the -pool-budget byte budget (default from HILLVIEW_POOL_BUDGET,
+// 0 = unlimited), so a worker can serve datasets larger than its RAM.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/colstore"
 	"repro/internal/engine"
 	"repro/internal/flights"
 	"repro/internal/storage"
@@ -29,17 +35,29 @@ func main() {
 	micro := flag.Int("micro", storage.DefaultMicroRows, "micropartition size in rows")
 	parallelism := flag.Int("parallelism", 0, "leaf thread pool size (0 = all cores)")
 	window := flag.Duration("window", engine.DefaultAggregationWindow, "partial-result aggregation window")
+	budget := flag.String("pool-budget", "", "column pool byte budget, e.g. 256M (default $HILLVIEW_POOL_BUDGET; 0 = unlimited)")
 	flag.Parse()
+
+	budgetBytes := storage.PoolBudgetFromEnv()
+	if *budget != "" {
+		b, err := storage.ParseByteSize(*budget)
+		if err != nil {
+			log.Fatalf("hillview-worker: %v", err)
+		}
+		budgetBytes = b
+	}
+	pool := colstore.NewPool(budgetBytes)
 
 	flights.Register()
 	cfg := engine.Config{Parallelism: *parallelism, AggregationWindow: *window}
-	w := cluster.NewWorker(storage.NewLoader(cfg, *micro))
+	w := cluster.NewWorker(storage.NewPooledLoader(cfg, *micro, pool))
 	w.SetLogf(log.Printf)
 	addr, err := w.Listen(*listen)
 	if err != nil {
 		log.Fatalf("hillview-worker: %v", err)
 	}
-	log.Printf("hillview-worker: serving on %s (micropartitions of %d rows)", addr, *micro)
+	log.Printf("hillview-worker: serving on %s (micropartitions of %d rows, pool budget %d bytes)",
+		addr, *micro, budgetBytes)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -17,6 +17,7 @@
 //	/api/heatmap?view=fl&x=DepDelay&y=ArrDelay        heat map summary
 //	/api/heavyhitters?view=fl&col=Origin&k=20         heavy hitters
 //	/api/filter?view=fl&name=ua&expr=Carrier=="UA"    derive a view
+//	/api/status                                       cache + column-pool stats
 //	/api/svg/histogram?view=fl&col=DepDelay           rendered SVG
 package main
 
@@ -31,6 +32,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/colstore"
 	"repro/internal/engine"
 	"repro/internal/flights"
 	"repro/internal/render"
@@ -41,23 +43,40 @@ import (
 )
 
 type server struct {
-	sheet *spreadsheet.Sheet
-	mu    sync.Mutex
-	views map[string]*spreadsheet.View
+	sheet  *spreadsheet.Sheet
+	pool   *colstore.Pool     // nil in cluster mode (pools live on workers)
+	dcache *storage.DataCache // nil in cluster mode
+	mu     sync.Mutex
+	views  map[string]*spreadsheet.View
 }
 
 func main() {
 	httpAddr := flag.String("http", ":8080", "HTTP listen address")
 	workers := flag.String("workers", "", "comma-separated worker addresses (empty = in-process engine)")
 	micro := flag.Int("micro", storage.DefaultMicroRows, "micropartition size for in-process mode")
+	budget := flag.String("pool-budget", "", "column pool byte budget for in-process mode, e.g. 256M (default $HILLVIEW_POOL_BUDGET; 0 = unlimited)")
 	flag.Parse()
 
 	flights.Register()
 	cfg := engine.Config{}
-	var loader engine.Loader
+	var (
+		loader engine.Loader
+		pool   *colstore.Pool
+		dcache *storage.DataCache
+	)
 	if *workers == "" {
-		loader = storage.NewLoader(cfg, *micro)
-		log.Printf("hillview: in-process engine")
+		budgetBytes := storage.PoolBudgetFromEnv()
+		if *budget != "" {
+			b, err := storage.ParseByteSize(*budget)
+			if err != nil {
+				log.Fatalf("hillview: %v", err)
+			}
+			budgetBytes = b
+		}
+		pool = colstore.NewPool(budgetBytes)
+		dcache = storage.NewDataCache(0)
+		loader = storage.NewLoaderWith(cfg, storage.LoaderOpts{MicroRows: *micro, Pool: pool, Cache: dcache})
+		log.Printf("hillview: in-process engine (pool budget %d bytes)", budgetBytes)
 	} else {
 		addrs := strings.Split(*workers, ",")
 		c, err := cluster.Connect(addrs, cfg)
@@ -69,8 +88,10 @@ func main() {
 		log.Printf("hillview: connected to %d workers", len(addrs))
 	}
 	s := &server{
-		sheet: spreadsheet.New(engine.NewRoot(loader)),
-		views: make(map[string]*spreadsheet.View),
+		sheet:  spreadsheet.New(engine.NewRoot(loader)),
+		pool:   pool,
+		dcache: dcache,
+		views:  make(map[string]*spreadsheet.View),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/load", s.handleLoad)
@@ -80,9 +101,40 @@ func main() {
 	mux.HandleFunc("/api/heatmap", s.handleHeatmap)
 	mux.HandleFunc("/api/heavyhitters", s.handleHeavyHitters)
 	mux.HandleFunc("/api/filter", s.handleFilter)
+	mux.HandleFunc("/api/status", s.handleStatus)
 	mux.HandleFunc("/api/svg/histogram", s.handleHistogramSVG)
 	log.Printf("hillview: listening on %s", *httpAddr)
 	log.Fatal(http.ListenAndServe(*httpAddr, mux))
+}
+
+// handleStatus reports the soft-state caches: the computation cache
+// (engine.Cache), the raw-data cache (storage.DataCache), and — in
+// in-process mode — the column pool's resident/budget/eviction
+// counters.
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	root := s.sheet.Root()
+	hits, misses := root.Cache().Stats()
+	out := map[string]any{
+		"computationCache": map[string]any{
+			"hits": hits, "misses": misses, "entries": root.Cache().Len(),
+		},
+		"replays": root.Replays(),
+	}
+	if s.dcache != nil {
+		dh, dm, dp := s.dcache.Stats()
+		out["dataCache"] = map[string]any{
+			"hits": dh, "misses": dm, "purged": dp, "columns": s.dcache.Len(),
+		}
+	}
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		out["columnPool"] = map[string]any{
+			"residentBytes": ps.Resident, "budgetBytes": ps.Budget,
+			"columns": ps.Columns, "pinned": ps.Pinned,
+			"hits": ps.Hits, "misses": ps.Misses, "evictions": ps.Evictions,
+		}
+	}
+	writeJSON(w, out)
 }
 
 func (s *server) view(r *http.Request) (*spreadsheet.View, error) {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/colstore"
 	"repro/internal/engine"
 	"repro/internal/flights"
 	"repro/internal/spreadsheet"
@@ -16,9 +17,15 @@ import (
 func testServer(t *testing.T) *server {
 	t.Helper()
 	flights.Register()
+	pool := colstore.NewPool(0)
+	dcache := storage.NewDataCache(0)
+	loader := storage.NewLoaderWith(engine.Config{AggregationWindow: -1},
+		storage.LoaderOpts{Pool: pool, Cache: dcache})
 	return &server{
-		sheet: spreadsheet.New(engine.NewRoot(storage.NewLoader(engine.Config{AggregationWindow: -1}, 0))),
-		views: make(map[string]*spreadsheet.View),
+		sheet:  spreadsheet.New(engine.NewRoot(loader)),
+		pool:   pool,
+		dcache: dcache,
+		views:  make(map[string]*spreadsheet.View),
 	}
 }
 
@@ -77,6 +84,27 @@ func TestLoadMetaTableEndpoints(t *testing.T) {
 	rec, _ = get(t, s.handleLoad, "/api/load?name=only")
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("missing source: %d", rec.Code)
+	}
+}
+
+// TestStatusEndpoint checks the soft-state stats surface: computation
+// cache, data cache, and column pool all report.
+func TestStatusEndpoint(t *testing.T) {
+	s := testServer(t)
+	get(t, s.handleLoad, "/api/load?name=fl&source=flights:rows=2000,parts=2,seed=1")
+	get(t, s.handleMeta, "/api/meta?view=fl")
+	rec, body := get(t, s.handleStatus, "/api/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status: %d %s", rec.Code, rec.Body.String())
+	}
+	for _, key := range []string{"computationCache", "dataCache", "columnPool", "replays"} {
+		if _, ok := body[key]; !ok {
+			t.Errorf("status missing %q: %v", key, body)
+		}
+	}
+	cc := body["computationCache"].(map[string]any)
+	if cc["hits"].(float64)+cc["misses"].(float64) == 0 {
+		t.Errorf("computation cache never consulted: %v", cc)
 	}
 }
 

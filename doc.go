@@ -12,6 +12,7 @@
 //   - internal/table — columnar tables, membership sets, sampling
 //   - internal/sketch — the vizketch library
 //   - internal/engine — execution trees, caches, redo log
+//   - internal/colstore — memory-mapped column store + budgeted pool
 //   - internal/cluster — the TCP worker protocol
 //   - internal/spreadsheet — the user-facing operations
 //   - internal/bench — the paper's evaluation, regenerated
@@ -37,6 +38,25 @@
 // row-at-a-time reference path — including randomized sketches under a
 // fixed seed, via per-chunk seeds derived from (seed, chunk start).
 // Kernel before/after numbers: BENCH_kernels.json.
+//
+// Leaf column data is evictable soft state served by a memory-mapped
+// column store (internal/colstore; paper §3.5, §5.5, §5.7): the HVC2
+// file layout stores fixed-width payloads raw, little-endian, and
+// 64-byte aligned with a CRC32-C per block, so mapped blocks
+// reinterpret in place as the ordinary typed columns the kernels
+// already scan — zero decode, zero copy, zero per-scan allocation. A
+// budgeted buffer pool (colstore.Pool) materializes columns lazily on
+// first touch, pins them for the duration of a scan task, and evicts
+// LRU unpinned columns past a configurable budget (workers:
+// -pool-budget / HILLVIEW_POOL_BUDGET), releasing OS pages without
+// invalidating the mapping, so datasets much larger than RAM scan
+// correctly — the testkit pooled differential runs every shipped
+// sketch under a budget of ~25% of the data and demands bit-identical
+// results to the fully-heap-loaded path. The engine reaches the store
+// through engine.LeafSource (lazy partitions, acquired per chunk task,
+// restricted to the columns a sketch declares via sketch.ColumnUser);
+// legacy HVC1 files keep working through the decode path and gained a
+// CRC32-C footer of their own.
 //
 // Correctness is guarded by a deterministic chaos harness
 // (internal/testkit): from a single seed it generates randomized

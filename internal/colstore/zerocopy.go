@@ -1,0 +1,150 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the host stores integers
+// little-endian — the precondition for reinterpreting HVC2 payload
+// bytes as typed slices. On a big-endian host every view helper falls
+// back to an allocating decode, which keeps results correct at the
+// cost of the zero-copy property.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// aligned8 reports whether the first byte of b sits on an 8-byte
+// boundary. Blocks are 64-byte aligned in the file and mappings are
+// page-aligned, so this holds for every mapped payload; it can fail
+// for payloads inside an arbitrary in-memory image (ReadHVC2Bytes on a
+// sub-slice), which then take the decode path.
+func aligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(unsafe.SliceData(b)))&7 == 0
+}
+
+// int64View reinterprets b as n little-endian int64 values, zero-copy
+// when the host allows it.
+func int64View(b []byte, n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && aligned8(b) {
+		return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(b))), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// float64View reinterprets b as n little-endian float64 values.
+func float64View(b []byte, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && aligned8(b) {
+		return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(b))), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// int32View reinterprets b as n little-endian int32 values.
+func int32View(b []byte, n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && (len(b) == 0 || uintptr(unsafe.Pointer(unsafe.SliceData(b)))&3 == 0) {
+		return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// uint64View reinterprets b as n little-endian uint64 words (missing
+// bitmaps).
+func uint64View(b []byte, n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && aligned8(b) {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(unsafe.SliceData(b))), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+// int64Bytes returns the little-endian byte image of v — zero-copy on
+// little-endian hosts, an allocating encode otherwise. The writer uses
+// it to emit fixed-width payloads in bulk.
+func int64Bytes(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), 8*len(v))
+	}
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// float64Bytes returns the little-endian byte image of v.
+func float64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), 8*len(v))
+	}
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// int32Bytes returns the little-endian byte image of v.
+func int32Bytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), 4*len(v))
+	}
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	}
+	return out
+}
+
+// uint64Bytes returns the little-endian byte image of v.
+func uint64Bytes(v []uint64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(v))), 8*len(v))
+	}
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], x)
+	}
+	return out
+}

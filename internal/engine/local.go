@@ -16,10 +16,18 @@ import (
 // summarizes them with a bounded thread pool (paper §5.3: "to
 // parallelize execution within a server, each server runs multiple leaf
 // nodes: there is a thread pool that serves leafs with work to do").
+//
+// Partitions are held one of two ways: eagerly, as in-memory tables
+// (NewLocal), or lazily, behind a LeafSource (NewLocalSource) that
+// materializes a partition's columns only while a scan task reads them
+// — the column store's budgeted buffer pool plugs in there. Both forms
+// produce identical scan geometry and bit-identical results.
 type LocalDataSet struct {
-	id    string
-	parts []*table.Table
-	cfg   Config
+	id     string
+	parts  []*table.Table // eager partitions; nil when src is set
+	src    LeafSource     // lazy partition supplier; nil when eager
+	leaves []LeafMeta     // cached src.Leaves()
+	cfg    Config
 }
 
 // NewLocal wraps partitions as a local dataset.
@@ -30,15 +38,32 @@ func NewLocal(id string, parts []*table.Table, cfg Config) *LocalDataSet {
 // ID implements IDataSet.
 func (d *LocalDataSet) ID() string { return d.id }
 
-// NumLeaves implements IDataSet.
-func (d *LocalDataSet) NumLeaves() int { return len(d.parts) }
+// numParts returns the partition count for either form.
+func (d *LocalDataSet) numParts() int {
+	if d.src != nil {
+		return len(d.leaves)
+	}
+	return len(d.parts)
+}
 
-// Partitions returns the underlying partition tables.
+// NumLeaves implements IDataSet.
+func (d *LocalDataSet) NumLeaves() int { return d.numParts() }
+
+// Partitions returns the underlying partition tables of an eager
+// dataset; a lazy dataset returns nil (its partitions materialize per
+// scan task).
 func (d *LocalDataSet) Partitions() []*table.Table { return d.parts }
 
-// TotalRows returns the number of member rows across partitions.
+// TotalRows returns the number of member rows across partitions. For a
+// lazy dataset this reads metadata only.
 func (d *LocalDataSet) TotalRows() int64 {
 	var n int64
+	if d.src != nil {
+		for _, m := range d.leaves {
+			n += int64(m.Hi - m.Lo)
+		}
+		return n
+	}
 	for _, p := range d.parts {
 		n += int64(p.NumRows())
 	}
@@ -55,10 +80,14 @@ func (d *LocalDataSet) parallelism() int {
 
 // leafTask is one unit of leaf-scan work: a whole partition, or one
 // fixed physical-row-range chunk of a partition when the partition
-// exceeds Config.ChunkRows.
+// exceeds Config.ChunkRows. Eager tasks carry the prepared table; lazy
+// tasks carry only the chunk geometry and resolve the table through
+// the LeafSource when a worker picks them up.
 type leafTask struct {
-	part int // index into d.parts, for per-partition progress accounting
-	t    *table.Table
+	part int          // partition index, for per-partition progress accounting
+	t    *table.Table // eager: ready to scan; lazy: nil
+	lo   int          // lazy chunk start; -1 = whole partition
+	hi   int          // lazy chunk end (exclusive)
 }
 
 // leafTasks shards the partitions into scan tasks for sk. Chunk tables
@@ -75,13 +104,16 @@ type leafTask struct {
 // no-op tasks; chunk IDs still derive from the physical start row, so
 // skipping never shifts another chunk's sampling seed.
 func (d *LocalDataSet) leafTasks(sk sketch.Sketch) []leafTask {
+	if d.src != nil {
+		return d.lazyLeafTasks(sk)
+	}
 	chunk := d.cfg.chunkRows()
 	_, whole := sk.(sketch.WholePartition)
 	tasks := make([]leafTask, 0, len(d.parts))
 	for pi, p := range d.parts {
 		max := p.Members().Max()
 		if whole || max <= chunk || p.NumRows() <= chunk {
-			tasks = append(tasks, leafTask{part: pi, t: p})
+			tasks = append(tasks, leafTask{part: pi, t: p, lo: -1})
 			continue
 		}
 		for lo := 0; lo < max; lo += chunk {
@@ -94,10 +126,64 @@ func (d *LocalDataSet) leafTasks(sk sketch.Sketch) []leafTask {
 				continue
 			}
 			id := p.ID() + "#" + strconv.Itoa(lo)
-			tasks = append(tasks, leafTask{part: pi, t: p.WithMembership(id, m)})
+			tasks = append(tasks, leafTask{part: pi, t: p.WithMembership(id, m), lo: lo, hi: hi})
 		}
 	}
 	return tasks
+}
+
+// lazyLeafTasks plans scan tasks from partition metadata alone,
+// mirroring the eager plan exactly: same chunk boundaries, same
+// memberless-chunk skipping (a leaf's members are the contiguous range
+// [Lo, Hi), so the popcount is interval arithmetic), and the same
+// chunk IDs — geometry is a pure function of the configuration, never
+// of what happens to be resident.
+func (d *LocalDataSet) lazyLeafTasks(sk sketch.Sketch) []leafTask {
+	chunk := d.cfg.chunkRows()
+	_, whole := sk.(sketch.WholePartition)
+	tasks := make([]leafTask, 0, len(d.leaves))
+	for pi, m := range d.leaves {
+		// An empty partition still gets its whole-partition task (via
+		// Hi-Lo <= chunk), exactly like the eager planner: identical
+		// task lists keep static worker assignment — and with it
+		// merge-order-sensitive results — bit-identical across the
+		// eager and lazy forms.
+		if whole || m.Bound <= chunk || m.Hi-m.Lo <= chunk {
+			tasks = append(tasks, leafTask{part: pi, lo: -1})
+			continue
+		}
+		for lo := 0; lo < m.Bound; lo += chunk {
+			hi := lo + chunk
+			if hi > m.Bound {
+				hi = m.Bound
+			}
+			if hi <= m.Lo || lo >= m.Hi {
+				continue // chunk holds no member rows
+			}
+			tasks = append(tasks, leafTask{part: pi, lo: lo, hi: hi})
+		}
+	}
+	return tasks
+}
+
+// taskTable resolves a task to its scan table. Eager tasks are ready;
+// lazy tasks acquire the partition (pinning its columns) and restrict
+// it to the task's chunk with the same derived ID the eager path uses.
+// release is non-nil only for lazy tasks and must be called once the
+// fold is done.
+func (d *LocalDataSet) taskTable(tk leafTask, cols []string) (*table.Table, func(), error) {
+	if tk.t != nil {
+		return tk.t, nil, nil
+	}
+	t, release, err := d.src.Acquire(tk.part, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tk.lo >= 0 {
+		id := t.ID() + "#" + strconv.Itoa(tk.lo)
+		t = t.WithMembership(id, table.Restrict(t.Members(), tk.lo, tk.hi))
+	}
+	return t, release, nil
 }
 
 // leafWorker is one thread of the leaf pool: it drains the task queue
@@ -178,7 +264,8 @@ func mergeSnapshots(sk sketch.Sketch, workers []*leafWorker) (sketch.Result, err
 // stalled scan. Done counts fully folded partitions, and cancellation
 // stops workers from pulling not-yet-started tasks.
 func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial PartialFunc) (sketch.Result, error) {
-	total := len(d.parts)
+	total := d.numParts()
+	cols := sketch.SketchColumns(sk)
 	if total == 0 {
 		z := sk.Zero()
 		emit(onPartial, Partial{Result: z, Done: 0, Total: 0})
@@ -281,7 +368,17 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 					return
 				}
 				tk := tasks[i]
-				if err := w.add(sk, tk.t); err != nil {
+				t, release, err := d.taskTable(tk, cols)
+				if err == nil {
+					err = w.add(sk, t)
+					// Unpin as soon as the fold lands: the resident
+					// working set is bounded by the worker pool, not the
+					// dataset.
+					if release != nil {
+						release()
+					}
+				}
+				if err != nil {
 					progMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -322,22 +419,42 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 
 // Map implements IDataSet: partitions transform independently and in
 // parallel, with stable derived partition IDs so that replay rebuilds
-// identical state.
+// identical state. A lazy dataset acquires each partition for the
+// duration of its transform; the derived dataset is eager (its tables
+// are fresh soft state sharing the source's column storage, which the
+// column store keeps readable even after eviction).
 func (d *LocalDataSet) Map(op MapOp, newID string) (IDataSet, error) {
-	out := make([]*table.Table, len(d.parts))
+	out := make([]*table.Table, d.numParts())
 	var (
 		mu       sync.Mutex
 		firstErr error
 		wg       sync.WaitGroup
 	)
 	sem := make(chan struct{}, d.parallelism())
-	for i := range d.parts {
+	for i := range out {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			t, err := op.Apply(d.parts[i], DerivePartID(newID, i))
+			src := d.parts
+			var (
+				p       *table.Table
+				release func()
+				err     error
+			)
+			if d.src != nil {
+				p, release, err = d.src.Acquire(i, nil)
+			} else {
+				p = src[i]
+			}
+			var t *table.Table
+			if err == nil {
+				t, err = op.Apply(p, DerivePartID(newID, i))
+				if release != nil {
+					release()
+				}
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && firstErr == nil {

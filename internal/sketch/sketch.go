@@ -118,6 +118,45 @@ type AccumulatorSketch interface {
 	NewAccumulator() Accumulator
 }
 
+// ColumnUser is an optional Sketch extension declaring which table
+// columns Summarize reads. The engine and the column-store loader use
+// it to materialize (and page in) only the named columns of a leaf —
+// the paper's core storage property: a vizketch touching two columns of
+// a 110-column table loads two column blocks, not the whole table
+// (§5.4).
+//
+// The contract: Summarize and the sketch's accumulator may read cell
+// data only from the declared columns, though they may freely use the
+// table's membership and row counts. A partition handed to the sketch
+// may therefore carry a schema projected to (a superset of) the
+// declared columns. Sketches that inspect the schema itself
+// (MetaSketch) must not implement ColumnUser.
+type ColumnUser interface {
+	// Columns returns the names of every column Summarize may read.
+	// Duplicates are allowed; order is irrelevant.
+	Columns() []string
+}
+
+// SketchColumns returns the deduplicated declared columns of sk, or
+// nil when sk does not declare them (callers must then provide every
+// column).
+func SketchColumns(sk Sketch) []string {
+	cu, ok := sk.(ColumnUser)
+	if !ok {
+		return nil
+	}
+	cols := cu.Columns()
+	out := make([]string, 0, len(cols))
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // Cacheable marks deterministic sketches whose results the engine may
 // store in the computation cache (paper §5.4: "useful for mergeable
 // summaries that provide auxiliary functionality, such as column

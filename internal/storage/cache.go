@@ -25,6 +25,7 @@ type DataCache struct {
 	columns map[dcKey]*dcEntry
 	hits    int64
 	misses  int64
+	purged  int64
 }
 
 type dcKey struct {
@@ -91,6 +92,7 @@ func (c *DataCache) Purge() int {
 			dropped++
 		}
 	}
+	c.purged += int64(dropped)
 	return dropped
 }
 
@@ -105,11 +107,12 @@ func (c *DataCache) Invalidate(source string) {
 	}
 }
 
-// Stats returns cumulative hit/miss counts.
-func (c *DataCache) Stats() (hits, misses int64) {
+// Stats returns cumulative hit, miss, and TTL-purge counts (mirroring
+// engine.Cache.Stats, plus the purge counter the TTL policy adds).
+func (c *DataCache) Stats() (hits, misses, purged int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, c.purged
 }
 
 // Len returns the number of cached columns.

@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/colstore"
+	"repro/internal/table"
+)
+
+// The cold/warm scan A/B of the column store: the same two fixed-width
+// columns (int64 + float64, no missing) scanned through
+//
+//	V1Heap  — the pre-colstore pipeline: HVC1 varint/IEEE blocks,
+//	          allocated and decoded onto the heap (every cold scan paid
+//	          this before the mmap store existed);
+//	V2Mapped — the HVC2 pipeline: file mapped, block CRC-validated,
+//	          payload reinterpreted in place.
+//
+// "Cold" includes materialization each pass (decode vs map+CRC);
+// "warm" scans already materialized columns, where both forms are the
+// same typed-slice loop. Interleave runs of both legs when recording
+// (BENCH_colstore.json): host throughput drifts between sessions.
+
+var (
+	colBenchDir   string
+	colBenchFiles = map[string]string{}
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if colBenchDir != "" {
+		os.RemoveAll(colBenchDir)
+	}
+	os.Exit(code)
+}
+
+// colBenchTable builds the two-column bench table.
+func colBenchTable(n int) *table.Table {
+	ints := make([]int64, n)
+	doubles := make([]float64, n)
+	for i := range ints {
+		ints[i] = int64(i*2654435761) % 1000
+		doubles[i] = float64(i%997) * 0.5
+	}
+	schema := table.NewSchema(
+		table.ColumnDesc{Name: "i", Kind: table.KindInt},
+		table.ColumnDesc{Name: "d", Kind: table.KindDouble},
+	)
+	return table.New("bench", schema, []table.Column{
+		table.NewIntColumn(table.KindInt, ints, nil),
+		table.NewDoubleColumn(doubles, nil),
+	}, table.FullMembership(n))
+}
+
+// colBenchFile writes (once per process) the bench table at n rows in
+// the given version.
+func colBenchFile(b *testing.B, n int, version string) string {
+	b.Helper()
+	key := fmt.Sprintf("%s-%d", version, n)
+	if path, ok := colBenchFiles[key]; ok {
+		return path
+	}
+	if colBenchDir == "" {
+		dir, err := os.MkdirTemp("", "colstore-bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		colBenchDir = dir
+	}
+	t := colBenchTable(n)
+	path := filepath.Join(colBenchDir, key+".hvc")
+	var err error
+	if version == "v1" {
+		err = WriteHVC(path, t)
+	} else {
+		err = WriteHVC2(path, t)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	colBenchFiles[key] = path
+	return path
+}
+
+// scanBenchCols burns through both columns with the typed bulk
+// accessors — the access pattern of the vectorized kernels.
+func scanBenchCols(ic, dc table.Column) (int64, float64) {
+	var si int64
+	var sd float64
+	for _, v := range ic.(*table.IntColumn).Ints() {
+		si += v
+	}
+	for _, v := range dc.(*table.DoubleColumn).Doubles() {
+		sd += v
+	}
+	return si, sd
+}
+
+var colBenchSizes = []int{1_000_000, 10_000_000}
+
+func BenchmarkColstoreScanV1HeapCold(b *testing.B) {
+	for _, n := range colBenchSizes {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			path := colBenchFile(b, n, "v1")
+			b.SetBytes(int64(16 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t, err := ReadHVC(path, "b")
+				if err != nil {
+					b.Fatal(err)
+				}
+				scanBenchCols(t.ColumnAt(0), t.ColumnAt(1))
+			}
+		})
+	}
+}
+
+func BenchmarkColstoreScanV1HeapWarm(b *testing.B) {
+	for _, n := range colBenchSizes {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			t, err := ReadHVC(colBenchFile(b, n, "v1"), "b")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(16 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scanBenchCols(t.ColumnAt(0), t.ColumnAt(1))
+			}
+		})
+	}
+}
+
+func BenchmarkColstoreScanV2MappedCold(b *testing.B) {
+	for _, n := range colBenchSizes {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			path := colBenchFile(b, n, "v2")
+			b.SetBytes(int64(16 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := colstore.OpenFile(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ic, _, _, err := f.Column(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dc, _, _, err := f.Column(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scanBenchCols(ic, dc)
+				f.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkColstoreScanV2MappedWarm(b *testing.B) {
+	for _, n := range colBenchSizes {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			f, err := colstore.OpenFile(colBenchFile(b, n, "v2"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			ic, _, _, err := f.Column(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dc, _, _, err := f.Column(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(16 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scanBenchCols(ic, dc)
+			}
+		})
+	}
+}

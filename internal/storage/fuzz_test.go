@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/colstore"
 	"repro/internal/table"
 )
 
@@ -13,6 +14,16 @@ func hvcBytes(t testing.TB, tbl *table.Table) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := WriteHVCTo(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// hvc2Bytes encodes a table through the v2 writer.
+func hvc2Bytes(t testing.TB, tbl *table.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := colstore.WriteHVC2To(&buf, tbl); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -58,6 +69,22 @@ func FuzzHVC(f *testing.F) {
 	// A filtered view exercises the membership-flattening writer.
 	filtered := fuzzSeedTable(f, 29).Filter("fuzz-filtered", func(row int) bool { return row%2 == 0 })
 	f.Add(hvcBytes(f, filtered))
+	// v2 seeds: the dispatch sends "HVC2"-magic input through the
+	// aligned/CRC reader, which must satisfy the same contract.
+	f.Add([]byte("HVC2"))
+	f.Add([]byte("HVC2\x01\x00\x00\x00")) // truncated after numCols
+	f.Add(hvc2Bytes(f, fuzzSeedTable(f, 17)))
+	f.Add(hvc2Bytes(f, fuzzSeedTable(f, 1)))
+	f.Add(hvc2Bytes(f, filtered))
+	// Mixed-version confusion: v1 payload behind v2 magic and vice
+	// versa — both must error cleanly, never panic.
+	v1 := hvcBytes(f, fuzzSeedTable(f, 9))
+	v2 := hvc2Bytes(f, fuzzSeedTable(f, 9))
+	f.Add(append([]byte("HVC2"), v1[4:]...))
+	f.Add(append([]byte("HVC1"), v2[4:]...))
+	// A footer-stripped v1 file (legacy layout) must keep decoding.
+	foot := 4 + 4*fuzzSeedTable(f, 9).Schema().NumColumns()
+	f.Add(v1[:len(v1)-foot])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tbl, err := ReadHVCBytes(data, "fuzz")
 		if err != nil {

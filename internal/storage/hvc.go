@@ -5,10 +5,12 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
 
+	"repro/internal/colstore"
 	"repro/internal/table"
 )
 
@@ -27,6 +29,19 @@ import (
 //	numCols × { nameLen uvarint, name bytes, kind byte }
 //	numCols × { offset uint64 }      // absolute file offset of block
 //	numCols × column block
+//	footer (since PR 4): "HVCc", numCols × crc32c uint32
+//
+// The footer carries one CRC32-C per column block so a truncated or
+// bit-flipped block surfaces as an error instead of decoding silently
+// wrong values. It is detected by position and magic, so pre-footer
+// files keep reading (without validation) and footered files read under
+// old readers that stop at the last block offset.
+//
+// Version dispatch: files beginning with "HVC2" are the mmap-native v2
+// layout owned by package colstore (raw little-endian aligned payloads,
+// per-block CRC); every Read entry point here sniffs the magic and
+// routes v2 files through the colstore decoder, so callers never care
+// which version is on disk.
 //
 // Column block:
 //
@@ -37,7 +52,18 @@ import (
 //	  double:   rows × 8-byte IEEE
 //	  string:   dictLen uvarint, dict entries {len uvarint, bytes},
 //	            rows × code uvarint
-const hvcMagic = "HVC1"
+const (
+	hvcMagic       = "HVC1"
+	hvcFooterMagic = "HVCc"
+)
+
+// hvcCRCTable is CRC32-C, matching the HVC2 block checksums.
+var hvcCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteHVC2 stores the member rows of t at path in the mmap-native v2
+// layout (see package colstore). Readers here dispatch on the magic, so
+// v1 and v2 files mix freely in one directory.
+func WriteHVC2(path string, t *table.Table) error { return colstore.WriteHVC2(path, t) }
 
 // WriteHVC stores the member rows of t at path. Filtered views are
 // flattened: the file always holds a dense table.
@@ -94,7 +120,15 @@ func WriteHVCTo(w io.Writer, t *table.Table) error {
 			return err
 		}
 	}
-	return nil
+	// CRC footer: one checksum per block, validated by readers that
+	// recognize it (older files without one still read).
+	var foot bytes.Buffer
+	foot.WriteString(hvcFooterMagic)
+	for _, b := range blocks {
+		binary.Write(&foot, binary.LittleEndian, crc32.Checksum(b, hvcCRCTable))
+	}
+	_, err := w.Write(foot.Bytes())
+	return err
 }
 
 func encodeColumn(buf *bytes.Buffer, t *table.Table, c, rows int) error {
@@ -260,13 +294,29 @@ func readHVCHeader(r io.Reader, size int64) (*hvcHeader, error) {
 	return &hvcHeader{schema: table.NewSchema(cols...), rows: int(numRows), offsets: offsets}, nil
 }
 
-// ReadHVCSchema returns the schema and row count without reading data.
+// ReadHVCSchema returns the schema and row count without reading data
+// (either format version).
 func ReadHVCSchema(path string) (*table.Schema, int, error) {
 	f, size, err := openSized(path)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, 0, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	if colstore.IsHVC2Magic(magic[:]) {
+		v2, err := colstore.OpenFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer v2.Close()
+		return v2.Schema(), v2.Rows(), nil
+	}
 	h, err := readHVCHeader(bufio.NewReader(f), size)
 	if err != nil {
 		return nil, 0, err
@@ -285,10 +335,13 @@ func ReadHVCColumns(path, id string, cols []string) (*table.Table, error) {
 	return readHVCPath(path, id, cols)
 }
 
-// ReadHVCBytes decodes an in-memory HVC image. It is the entry point of
-// the FuzzHVC target: malformed input of any shape must produce an
-// error, never a panic.
+// ReadHVCBytes decodes an in-memory HVC image of either version. It is
+// the entry point of the FuzzHVC target: malformed input of any shape
+// must produce an error, never a panic.
 func ReadHVCBytes(data []byte, id string) (*table.Table, error) {
+	if colstore.IsHVC2Magic(data) {
+		return colstore.ReadHVC2Bytes(data, id, nil)
+	}
 	return readHVC(bytes.NewReader(data), int64(len(data)), id, nil)
 }
 
@@ -311,6 +364,20 @@ func readHVCPath(path, id string, cols []string) (*table.Table, error) {
 		return nil, err
 	}
 	defer f.Close()
+	var magic [4]byte
+	if n, _ := io.ReadFull(f, magic[:]); n == 4 && colstore.IsHVC2Magic(magic[:]) {
+		// Eager heap load of a v2 file: directory-guided — only the
+		// requested blocks are read (through a transient mapping),
+		// CRC-validated, and copied out.
+		t, err := colstore.ReadHVC2File(path, id, cols)
+		if err != nil {
+			return nil, fmt.Errorf("storage: hvc %s: %w", path, err)
+		}
+		return t, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
 	t, err := readHVC(f, size, id, cols)
 	if err != nil {
 		return nil, fmt.Errorf("storage: hvc %s: %w", path, err)
@@ -318,11 +385,62 @@ func readHVCPath(path, id string, cols []string) (*table.Table, error) {
 	return t, nil
 }
 
+// hvcFooter is the decoded CRC footer of a v1 file: one checksum and
+// one block end offset per column. nil means the file predates the
+// footer (or the trailer bytes do not form one) and blocks decode
+// unvalidated, as before.
+type hvcFooter struct {
+	crcs []uint32
+	ends []int64
+}
+
+// readHVCFooter detects and decodes the CRC footer. Detection is
+// positional: the last 4+4×numCols bytes must start with the footer
+// magic and the block offsets must be strictly increasing and end
+// before the footer. Any inconsistency means "no footer" — the footer
+// is an integrity upgrade, not a format requirement.
+func readHVCFooter(f io.ReadSeeker, size int64, h *hvcHeader) *hvcFooter {
+	footLen := int64(4 + 4*len(h.offsets))
+	footStart := size - footLen
+	if footStart <= 0 {
+		return nil
+	}
+	for i, off := range h.offsets {
+		if int64(off) >= footStart {
+			return nil
+		}
+		if i > 0 && h.offsets[i-1] >= off {
+			return nil
+		}
+	}
+	if _, err := f.Seek(footStart, io.SeekStart); err != nil {
+		return nil
+	}
+	buf := make([]byte, footLen)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil
+	}
+	if string(buf[:4]) != hvcFooterMagic {
+		return nil
+	}
+	ft := &hvcFooter{crcs: make([]uint32, len(h.offsets)), ends: make([]int64, len(h.offsets))}
+	for i := range ft.crcs {
+		ft.crcs[i] = binary.LittleEndian.Uint32(buf[4+4*i:])
+		if i+1 < len(h.offsets) {
+			ft.ends[i] = int64(h.offsets[i+1])
+		} else {
+			ft.ends[i] = footStart
+		}
+	}
+	return ft
+}
+
 func readHVC(f io.ReadSeeker, size int64, id string, cols []string) (*table.Table, error) {
 	h, err := readHVCHeader(bufio.NewReader(f), size)
 	if err != nil {
 		return nil, err
 	}
+	foot := readHVCFooter(f, size, h)
 	want := make([]int, 0, h.schema.NumColumns())
 	if cols == nil {
 		for i := 0; i < h.schema.NumColumns(); i++ {
@@ -343,7 +461,24 @@ func readHVC(f io.ReadSeeker, size int64, id string, cols []string) (*table.Tabl
 		if _, err := f.Seek(int64(h.offsets[ci]), io.SeekStart); err != nil {
 			return nil, err
 		}
-		col, err := decodeColumn(bufio.NewReaderSize(f, 1<<20), h.schema.Columns[ci].Kind, h.rows, size)
+		var br *bufio.Reader
+		if foot != nil {
+			// Validated path: read the exact block, check its CRC, then
+			// decode from memory (block length is bounded by the file
+			// size, which the header checks already cap).
+			block := make([]byte, foot.ends[ci]-int64(h.offsets[ci]))
+			if _, err := io.ReadFull(f, block); err != nil {
+				return nil, fmt.Errorf("column %q: %w", h.schema.Columns[ci].Name, err)
+			}
+			if got := crc32.Checksum(block, hvcCRCTable); got != foot.crcs[ci] {
+				return nil, fmt.Errorf("column %q: block CRC mismatch (got %08x, want %08x)",
+					h.schema.Columns[ci].Name, got, foot.crcs[ci])
+			}
+			br = bufio.NewReader(bytes.NewReader(block))
+		} else {
+			br = bufio.NewReaderSize(f, 1<<20)
+		}
+		col, err := decodeColumn(br, h.schema.Columns[ci].Kind, h.rows, size)
 		if err != nil {
 			return nil, fmt.Errorf("column %q: %w", h.schema.Columns[ci].Name, err)
 		}

@@ -21,7 +21,14 @@ func TestHVCTruncatedFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, cut := range []int{3, 10, len(blob) / 2, len(blob) - 5} {
+	// The file ends with the CRC footer ("HVCc" + one crc32 per
+	// column); every cut into the data region must be detected.
+	schema, _, err := ReadHVCSchema(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataEnd := len(blob) - (4 + 4*schema.NumColumns())
+	for _, cut := range []int{3, 10, dataEnd / 2, dataEnd - 5} {
 		bad := filepath.Join(dir, "bad.hvc")
 		if err := os.WriteFile(bad, blob[:cut], 0o644); err != nil {
 			t.Fatal(err)
@@ -30,6 +37,43 @@ func TestHVCTruncatedFile(t *testing.T) {
 			t.Errorf("truncation at %d bytes not detected", cut)
 		}
 	}
+	// Truncating only the footer leaves every data block intact: the
+	// file reads (as a pre-footer v1 file would), just unvalidated.
+	bad := filepath.Join(dir, "nofoot.hvc")
+	if err := os.WriteFile(bad, blob[:len(blob)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHVC(bad, "nofoot"); err != nil {
+		t.Errorf("footer-only truncation should still read: %v", err)
+	}
+}
+
+// TestHVCFooterDetectsCorruption flips a payload byte in a footered v1
+// file: the previously silent corruption must now fail the read.
+func TestHVCFooterDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	orig := sampleTable(t, "crc", 400)
+	path := filepath.Join(dir, "data.hvc")
+	if err := WriteHVC(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, _, err := ReadHVCSchema(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataEnd := len(blob) - (4 + 4*schema.NumColumns())
+	bad := append([]byte(nil), blob...)
+	bad[dataEnd-10] ^= 0x20 // inside the last column block
+	if _, err := ReadHVCBytes(bad, "bad"); err == nil {
+		t.Error("corrupted block decoded without error despite CRC footer")
+	}
+	// The same corruption with the footer stripped decodes (legacy,
+	// unvalidated) or errors — but must never panic.
+	_, _ = ReadHVCBytes(bad[:dataEnd], "legacy")
 }
 
 // TestHVCComputedColumns verifies lazily computed columns (the pattern

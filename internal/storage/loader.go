@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/colstore"
 	"repro/internal/engine"
 	"repro/internal/table"
 )
@@ -60,12 +61,31 @@ func RegisterScheme(name string, loader SchemeLoader) {
 // LoadFile reads a single data file, dispatching on extension
 // (.csv, .jsonl, .hvc).
 func LoadFile(path, id string) (*table.Table, error) {
+	return loadFileCached(path, id, nil)
+}
+
+// loadFileCached is LoadFile with an optional DataCache: column reads
+// of .hvc files (either version) go through the cache, so a reload of
+// a source — e.g. redo-log replay after soft-state loss — reuses every
+// column still resident.
+func loadFileCached(path, id string, cache *DataCache) (*table.Table, error) {
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".csv":
 		return ReadCSV(path, id, nil)
 	case ".jsonl", ".json":
 		return ReadJSONL(path, id, nil)
 	case ".hvc":
+		if cache != nil {
+			schema, _, err := ReadHVCSchema(path)
+			if err != nil {
+				return nil, err
+			}
+			names := make([]string, schema.NumColumns())
+			for i, cd := range schema.Columns {
+				names[i] = cd.Name
+			}
+			return CachedHVCColumns(cache, path, id, names)
+		}
 		return ReadHVC(path, id)
 	default:
 		return nil, fmt.Errorf("storage: unknown file format %q", path)
@@ -79,12 +99,16 @@ func LoadFile(path, id string) (*table.Table, error) {
 //	<scheme>:<rest>  a registered custom scheme
 //	<path>        bare paths behave like file: or dir: by stat
 func LoadSource(source, id string, microRows int) ([]*table.Table, error) {
+	return loadSource(source, id, microRows, nil)
+}
+
+func loadSource(source, id string, microRows int, cache *DataCache) ([]*table.Table, error) {
 	if scheme, rest, ok := strings.Cut(source, ":"); ok {
 		switch scheme {
 		case "file":
-			return loadFileParts(rest, id, microRows)
+			return loadFileParts(rest, id, microRows, cache)
 		case "dir":
-			return loadDirParts(rest, id, microRows)
+			return loadDirParts(rest, id, microRows, cache)
 		default:
 			schemesMu.RLock()
 			loader := schemes[scheme]
@@ -100,20 +124,20 @@ func LoadSource(source, id string, microRows int) ([]*table.Table, error) {
 		return nil, err
 	}
 	if info.IsDir() {
-		return loadDirParts(source, id, microRows)
+		return loadDirParts(source, id, microRows, cache)
 	}
-	return loadFileParts(source, id, microRows)
+	return loadFileParts(source, id, microRows, cache)
 }
 
-func loadFileParts(path, id string, microRows int) ([]*table.Table, error) {
-	t, err := LoadFile(path, id)
+func loadFileParts(path, id string, microRows int, cache *DataCache) ([]*table.Table, error) {
+	t, err := loadFileCached(path, id, cache)
 	if err != nil {
 		return nil, err
 	}
 	return SplitRows(t, microRows), nil
 }
 
-func loadDirParts(dir, id string, microRows int) ([]*table.Table, error) {
+func loadDirParts(dir, id string, microRows int, cache *DataCache) ([]*table.Table, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -134,7 +158,7 @@ func loadDirParts(dir, id string, microRows int) ([]*table.Table, error) {
 	sort.Strings(files)
 	var parts []*table.Table
 	for _, name := range files {
-		t, err := LoadFile(filepath.Join(dir, name), id+"/"+name)
+		t, err := loadFileCached(filepath.Join(dir, name), id+"/"+name, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -146,8 +170,40 @@ func loadDirParts(dir, id string, microRows int) ([]*table.Table, error) {
 // NewLoader adapts LoadSource into an engine.Loader with the given
 // engine configuration and micropartition size.
 func NewLoader(cfg engine.Config, microRows int) engine.Loader {
+	return NewLoaderWith(cfg, LoaderOpts{MicroRows: microRows})
+}
+
+// LoaderOpts tunes NewLoaderWith beyond the engine configuration.
+type LoaderOpts struct {
+	// MicroRows is the micropartition size (0 = DefaultMicroRows).
+	MicroRows int
+	// Pool, when set, serves all-HVC sources through the memory-mapped
+	// column store as lazy, budgeted leaf sources (see PooledSource).
+	Pool *colstore.Pool
+	// Cache, when set, routes eager .hvc column reads through the data
+	// cache, so reloads (redo-log replay) reuse resident columns.
+	Cache *DataCache
+}
+
+// NewLoaderWith builds an engine.Loader with optional column-store and
+// data-cache integration. HVC sources prefer the pooled path, sharing
+// mapped file handles across loads (so redo-log replays of one source
+// reuse one mapping); every other source — CSV, JSONL, registered
+// schemes, mixed directories — loads eagerly (through Cache when
+// configured).
+func NewLoaderWith(cfg engine.Config, o LoaderOpts) engine.Loader {
+	handles := &fileCache{}
 	return func(id, source string) (engine.IDataSet, error) {
-		parts, err := LoadSource(source, id, microRows)
+		if o.Pool != nil {
+			if specs, ok := hvcSourceSpecs(source, id); ok {
+				src, err := newPooledSource(o.Pool, specs, o.MicroRows, handles)
+				if err != nil {
+					return nil, err
+				}
+				return engine.NewLocalSource(id, src, cfg), nil
+			}
+		}
+		parts, err := loadSource(source, id, o.MicroRows, o.Cache)
 		if err != nil {
 			return nil, err
 		}

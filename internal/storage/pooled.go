@@ -1,0 +1,397 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/colstore"
+	"repro/internal/engine"
+	"repro/internal/table"
+)
+
+// This file wires the column store's budgeted buffer pool into the
+// engine: PooledSource serves the micropartitions of a set of HVC
+// files as an engine.LeafSource, so column data is materialized only
+// while a scan task reads it (HVC2 files zero-copy from the mapping,
+// legacy HVC1 files heap-decoded per column) and evicted under the
+// pool budget between touches. Partition IDs and split geometry mirror
+// the eager loader exactly (LoadSource + SplitRows), which makes the
+// pooled and heap-loaded paths bit-identical — the property the
+// testkit differential harness asserts.
+
+// PoolBudgetEnv is the environment variable the default pool budget
+// comes from; CI sets it small to force eviction churn.
+const PoolBudgetEnv = "HILLVIEW_POOL_BUDGET"
+
+// PoolBudgetFromEnv returns the byte budget configured in the
+// environment, or 0 (unlimited) when unset. A set-but-unparseable
+// value is loudly ignored rather than silently meaning "unlimited" —
+// a worker whose budget typo disables eviction would OOM on its first
+// larger-than-RAM dataset.
+func PoolBudgetFromEnv() int64 {
+	raw := os.Getenv(PoolBudgetEnv)
+	v, err := ParseByteSize(raw)
+	if err != nil {
+		log.Printf("storage: ignoring %s=%q: %v", PoolBudgetEnv, raw, err)
+		return 0
+	}
+	return v
+}
+
+// ParseByteSize parses "4096", "64K", "256M"/"256Mi"/"256MiB", "2G"
+// into bytes (binary multiples; the optional i/B spellings are
+// equivalent).
+func ParseByteSize(s string) (int64, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	for _, suffix := range []string{"B", "b", "i", "I"} {
+		if len(s) > 1 {
+			s = strings.TrimSuffix(s, suffix)
+		}
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("storage: bad byte size %q", orig)
+	}
+	return n * mult, nil
+}
+
+// PooledFileSpec names one HVC file and the table ID its whole-file
+// partition carries (split partitions append "#k", like SplitRows).
+type PooledFileSpec struct {
+	Path string
+	ID   string
+}
+
+// fileCache shares open mapped handles across the loads of one loader:
+// reloading a source — in particular redo-log replay after soft-state
+// loss, which re-invokes the loader with the same spec — reuses the
+// existing mapping instead of accruing a new one per load. Handles
+// live as long as the loader (sources are immutable snapshots, so a
+// cached mapping never goes stale).
+type fileCache struct {
+	mu    sync.Mutex
+	files map[string]*colstore.File
+}
+
+func (c *fileCache) open(path string) (*colstore.File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.files[path]; ok {
+		return f, nil
+	}
+	f, err := colstore.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if c.files == nil {
+		c.files = make(map[string]*colstore.File)
+	}
+	c.files[path] = f
+	return f, nil
+}
+
+// pooledFile is one open backing file. v2 is non-nil for HVC2 files
+// (served from the mapping; owned reports whether this source must
+// close it — cache-shared handles belong to the loader); v1 files
+// decode per column on demand, with weak identity caching so a column
+// re-decoded after eviction is the same object while any scan still
+// holds it.
+type pooledFile struct {
+	path   string
+	v2     *colstore.File
+	owned  bool
+	schema *table.Schema
+	rows   int
+	v1cols colstore.WeakColumns
+}
+
+// pooledLeaf is one micropartition: a row range of a backing file.
+type pooledLeaf struct {
+	file   int
+	id     string
+	lo, hi int
+	whole  bool // covers the entire file: full membership
+}
+
+// PooledSource implements engine.LeafSource over HVC files through a
+// colstore.Pool. All column data is soft state: acquired lazily,
+// pinned per scan task, evicted under the pool budget, and reloaded
+// bit-identically from the immutable files.
+type PooledSource struct {
+	pool   *colstore.Pool
+	files  []*pooledFile
+	leaves []pooledLeaf
+	metas  []engine.LeafMeta
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewPooledSource opens the given files (either HVC version) and plans
+// micropartitions of at most microRows rows, mirroring SplitRows. The
+// source owns its mapped handles; Close them when done. Loaders built
+// by NewLoaderWith share handles across loads through a fileCache
+// instead (see newPooledSource).
+func NewPooledSource(pool *colstore.Pool, specs []PooledFileSpec, microRows int) (*PooledSource, error) {
+	return newPooledSource(pool, specs, microRows, nil)
+}
+
+func newPooledSource(pool *colstore.Pool, specs []PooledFileSpec, microRows int, cache *fileCache) (*PooledSource, error) {
+	if microRows <= 0 {
+		microRows = DefaultMicroRows
+	}
+	open := func(path string) (*colstore.File, bool, error) {
+		if cache != nil {
+			f, err := cache.open(path)
+			return f, false, err
+		}
+		f, err := colstore.OpenFile(path)
+		return f, true, err
+	}
+	s := &PooledSource{pool: pool}
+	for _, spec := range specs {
+		pf := &pooledFile{path: spec.Path}
+		v2, owned, err := open(spec.Path)
+		switch {
+		case err == nil:
+			pf.v2, pf.owned = v2, owned
+			pf.schema, pf.rows = v2.Schema(), v2.Rows()
+		case errors.Is(err, colstore.ErrNotHVC2):
+			schema, rows, err := ReadHVCSchema(spec.Path)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			pf.schema, pf.rows = schema, rows
+		default:
+			s.Close()
+			return nil, err
+		}
+		fi := len(s.files)
+		s.files = append(s.files, pf)
+		if pf.rows <= microRows {
+			s.leaves = append(s.leaves, pooledLeaf{file: fi, id: spec.ID, lo: 0, hi: pf.rows, whole: true})
+			continue
+		}
+		k := 0
+		for lo := 0; lo < pf.rows; lo += microRows {
+			hi := lo + microRows
+			if hi > pf.rows {
+				hi = pf.rows
+			}
+			id := fmt.Sprintf("%s#%d", spec.ID, k)
+			s.leaves = append(s.leaves, pooledLeaf{file: fi, id: id, lo: lo, hi: hi})
+			k++
+		}
+	}
+	s.metas = make([]engine.LeafMeta, len(s.leaves))
+	for i, l := range s.leaves {
+		s.metas[i] = engine.LeafMeta{ID: l.id, Lo: l.lo, Hi: l.hi, Bound: s.files[l.file].rows}
+	}
+	return s, nil
+}
+
+// Leaves implements engine.LeafSource.
+func (s *PooledSource) Leaves() []engine.LeafMeta { return s.metas }
+
+// TotalBytes returns the summed size of the backing files (the
+// denominator of a budget-as-fraction-of-data configuration).
+func (s *PooledSource) TotalBytes() int64 {
+	var n int64
+	for _, f := range s.files {
+		if info, err := os.Stat(f.path); err == nil {
+			n += info.Size()
+		}
+	}
+	return n
+}
+
+// Acquire implements engine.LeafSource: it materializes the requested
+// columns through the pool (pinning them until release) and assembles
+// the partition view. Split partitions share whole-file columns, so a
+// file's column is resident at most once regardless of how many of its
+// micropartitions are being scanned.
+func (s *PooledSource) Acquire(i int, cols []string) (*table.Table, func(), error) {
+	l := s.leaves[i]
+	f := s.files[l.file]
+
+	want := make([]int, 0, f.schema.NumColumns())
+	if cols == nil {
+		for ci := 0; ci < f.schema.NumColumns(); ci++ {
+			want = append(want, ci)
+		}
+	} else {
+		// Schema order, requested subset; unknown names are skipped so a
+		// sketch over a missing column fails with its ordinary error.
+		req := make(map[string]bool, len(cols))
+		for _, c := range cols {
+			req[c] = true
+		}
+		for ci, cd := range f.schema.Columns {
+			if req[cd.Name] {
+				want = append(want, ci)
+			}
+		}
+	}
+
+	outCols := make([]table.Column, len(want))
+	outDesc := make([]table.ColumnDesc, len(want))
+	releases := make([]func(), 0, len(want))
+	release := func() {
+		for _, r := range releases {
+			r()
+		}
+	}
+	for k, ci := range want {
+		cd := f.schema.Columns[ci]
+		col, rel, err := s.pool.Acquire(colstore.ColKey{Source: f.path, Column: cd.Name}, s.columnLoader(f, ci))
+		if err != nil {
+			release()
+			if errors.Is(err, fs.ErrNotExist) {
+				// The immutable backing file vanished: the dataset is
+				// gone, not just cold — let the root replay the redo log.
+				return nil, nil, fmt.Errorf("%w: %s (%v)", engine.ErrMissingDataset, f.path, err)
+			}
+			return nil, nil, err
+		}
+		outCols[k] = col
+		outDesc[k] = cd
+		releases = append(releases, rel)
+	}
+
+	var members table.Membership
+	if l.whole {
+		members = table.FullMembership(f.rows)
+	} else {
+		members = table.NewRangeMembership(l.lo, l.hi, f.rows)
+	}
+	var once sync.Once
+	return table.New(l.id, table.NewSchema(outDesc...), outCols, members),
+		func() { once.Do(release) }, nil
+}
+
+// columnLoader builds the pool loader for one column of one file.
+func (s *PooledSource) columnLoader(f *pooledFile, ci int) colstore.Loader {
+	name := f.schema.Columns[ci].Name
+	return func() (table.Column, int64, func(), error) {
+		if f.v2 != nil {
+			return f.v2.Column(ci)
+		}
+		// Legacy v1: decode just this column block onto the heap.
+		return f.v1cols.Load(ci, func() (table.Column, int64, func(), error) {
+			t, err := ReadHVCColumns(f.path, "colstore-load", []string{name})
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			col := t.MustColumn(name)
+			return col, colstore.ColumnBytes(col), nil, nil
+		})
+	}
+}
+
+// Pool returns the backing pool (stats, eviction).
+func (s *PooledSource) Pool() *colstore.Pool { return s.pool }
+
+// Close unmaps the backing files this source owns (cache-shared
+// handles stay open for the loader's other datasets). The source (and
+// every table acquired from it) must no longer be used.
+func (s *PooledSource) Close() error {
+	s.closeOnce.Do(func() {
+		for _, f := range s.files {
+			if f.v2 != nil && f.owned {
+				if err := f.v2.Close(); err != nil && s.closeErr == nil {
+					s.closeErr = err
+				}
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// hvcSourceSpecs resolves a source spec into pooled file specs when —
+// and only when — every data file it names is an HVC file. IDs and
+// scheme semantics mirror the eager loader (LoadFile/loadDirParts)
+// exactly: a source the eager loader would reject — file: naming a
+// directory, dir: naming a file — is declined here too, so configuring
+// a pool never changes which source strings load or what their
+// partitions are called.
+func hvcSourceSpecs(source, id string) ([]PooledFileSpec, bool) {
+	path := source
+	wantDir := ""
+	if scheme, rest, ok := strings.Cut(source, ":"); ok {
+		switch scheme {
+		case "file":
+			path, wantDir = rest, "no"
+		case "dir":
+			path, wantDir = rest, "yes"
+		default:
+			return nil, false // registered schemes stay eager
+		}
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, false
+	}
+	if (wantDir == "yes" && !info.IsDir()) || (wantDir == "no" && info.IsDir()) {
+		return nil, false // let the eager loader produce its error
+	}
+	if !info.IsDir() {
+		if strings.ToLower(filepath.Ext(path)) != ".hvc" {
+			return nil, false
+		}
+		return []PooledFileSpec{{Path: path, ID: id}}, true
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, false
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".hvc":
+			names = append(names, e.Name())
+		case ".csv", ".jsonl", ".json":
+			return nil, false // mixed directory: eager loader handles it
+		}
+	}
+	if len(names) == 0 {
+		return nil, false
+	}
+	sort.Strings(names)
+	specs := make([]PooledFileSpec, len(names))
+	for i, name := range names {
+		specs[i] = PooledFileSpec{Path: filepath.Join(path, name), ID: id + "/" + name}
+	}
+	return specs, true
+}
+
+// NewPooledLoader adapts LoadSource into an engine.Loader that serves
+// HVC sources through the pool (lazy, mapped, budgeted) and everything
+// else through the eager loader. A nil pool is fully eager.
+func NewPooledLoader(cfg engine.Config, microRows int, pool *colstore.Pool) engine.Loader {
+	return NewLoaderWith(cfg, LoaderOpts{MicroRows: microRows, Pool: pool})
+}

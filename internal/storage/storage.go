@@ -4,6 +4,15 @@
 // with TTL purging, and shard scanning that turns directories of files
 // into micropartitioned datasets.
 //
+// HVC files come in two versions behind one extension: the varint v1
+// layout (now with a CRC32-C footer) decoded onto the heap, and the
+// mmap-native v2 layout owned by package colstore, served zero-copy.
+// NewLoaderWith wires both into the engine — HVC sources become lazy,
+// budgeted leaf sources behind a colstore.Pool (PooledSource), so
+// column data loads on first touch, stays only while scanned, and a
+// worker's dataset size is bounded by its disks, not its RAM;
+// everything else loads eagerly, optionally through the DataCache.
+//
 // The layer honors the two storage contracts of the paper: data is
 // horizontally partitioned into roughly equal shards readable in
 // parallel, and sources are immutable snapshots while Hillview runs —

@@ -324,9 +324,9 @@ func TestDataCacheTTL(t *testing.T) {
 	if _, ok := c.GetColumn("src", "a"); ok {
 		t.Error("entry should be gone after purge")
 	}
-	hits, misses := c.Stats()
-	if hits != 1 || misses != 2 {
-		t.Errorf("stats = %d/%d", hits, misses)
+	hits, misses, purged := c.Stats()
+	if hits != 1 || misses != 2 || purged != 1 {
+		t.Errorf("stats = %d/%d/%d, want 1/2/1", hits, misses, purged)
 	}
 }
 

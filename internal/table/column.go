@@ -181,6 +181,24 @@ type StringColumn struct {
 	hasMissing bool
 }
 
+// NewDictColumn wraps an already dictionary-encoded string column: dict
+// must be sorted ascending and unique, and codes index into it (missing
+// rows hold code 0, shadowed by the mask). The column-store layer uses
+// it to reconstruct string columns from a stored dictionary section
+// without re-encoding; because dict and codes come from external data,
+// the sort invariant is validated here and a violation is an error, not
+// a panic. Callers are responsible for validating that every
+// non-missing code is within range. The slices are adopted, not copied,
+// so codes may alias memory-mapped storage.
+func NewDictColumn(dict []string, codes []int32, missing *Bitset) (*StringColumn, error) {
+	for i := 1; i < len(dict); i++ {
+		if dict[i-1] >= dict[i] {
+			return nil, fmt.Errorf("table: dictionary not sorted/unique at %d: %q >= %q", i, dict[i-1], dict[i])
+		}
+	}
+	return &StringColumn{dict: dict, codes: codes, missing: missing, hasMissing: hasAnyMissing(missing)}, nil
+}
+
 // NewStringColumn builds a string column from raw values. Prefer the
 // Builder for bulk loading; this constructor is for tests and small data.
 func NewStringColumn(vals []string, missing *Bitset) *StringColumn {

@@ -139,14 +139,29 @@ func reference(sk sketch.Sketch, parts []*table.Table) (sketch.Result, error) {
 	return sketch.MergeAll(sk, results...)
 }
 
+// runParams are the size knobs one harness run derives from its seed.
+// The derivation is shared by every topology driver (Run, RunFaults,
+// RunPooled) so one seed always names one generated dataset.
+type runParams struct {
+	rows, parts, chunk int
+	prefix             string
+}
+
+func genParams(seed uint64) runParams {
+	rng := rand.New(rand.NewPCG(seed, seed^0x243f6a8885a308d3))
+	return runParams{
+		rows:   700 + int(rng.Uint64()%1800),
+		parts:  3 + int(rng.Uint64()%3),
+		chunk:  120 + int(rng.Uint64()%600),
+		prefix: fmt.Sprintf("tk%d", seed),
+	}
+}
+
 // Run executes the three-way differential oracle for one seed: every
 // wire-registered sketch, three topologies, per-sketch contracts.
 func Run(seed uint64) error {
-	rng := rand.New(rand.NewPCG(seed, seed^0x243f6a8885a308d3))
-	rows := 700 + int(rng.Uint64()%1800)
-	parts := 3 + int(rng.Uint64()%3)
-	chunk := 120 + int(rng.Uint64()%600)
-	prefix := fmt.Sprintf("tk%d", seed)
+	p := genParams(seed)
+	rows, parts, chunk, prefix := p.rows, p.parts, p.chunk, p.prefix
 	tables, info := table.GenPartitions(prefix, seed, rows, parts)
 	cfg := engine.Config{
 		Parallelism:       3,

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/sketch"
+	"repro/internal/storage"
 	"repro/internal/table"
 	"repro/internal/testkit/seedtest"
 )
@@ -20,6 +21,7 @@ import (
 var (
 	seedsFlag  = flag.Int("testkit.seeds", 4, "number of three-way oracle seeds to run")
 	faultsFlag = flag.Int("testkit.faultseeds", 2, "number of fault-battery seeds to run")
+	pooledFlag = flag.Int("testkit.pooledseeds", 2, "number of pooled column-store seeds to run")
 	baseFlag   = flag.Uint64("testkit.base", 1, "first seed of the window")
 )
 
@@ -45,6 +47,30 @@ func TestFaultSchedules(t *testing.T) {
 				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestFaultSchedules/seed=%d$' -testkit.base=%d -testkit.faultseeds=1", err, seed, seed)
 			}
 		})
+	}
+}
+
+// TestPooledSeeds runs the column-store differential (HVC2 files,
+// mmap, pool budget ≈ 25% of data) across its seed window.
+func TestPooledSeeds(t *testing.T) {
+	for i := 0; i < *pooledFlag; i++ {
+		seed := *baseFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			if err := RunPooled(seed); err != nil {
+				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestPooledSeeds/seed=%d$' -testkit.base=%d -testkit.pooledseeds=1", err, seed, seed)
+			}
+		})
+	}
+}
+
+// TestPooledTinyBudget runs one seed with a budget of a single byte
+// (via HILLVIEW_POOL_BUDGET, which RunPooled only ever tightens with):
+// every column acquire is a cold load and every release an eviction —
+// the maximum-churn degenerate case must still be bit-correct.
+func TestPooledTinyBudget(t *testing.T) {
+	t.Setenv(storage.PoolBudgetEnv, "1")
+	if err := RunPooled(*baseFlag); err != nil {
+		t.Fatalf("tiny budget: %v", err)
 	}
 }
 
