@@ -46,6 +46,7 @@ type server struct {
 	sheet  *spreadsheet.Sheet
 	pool   *colstore.Pool     // nil in cluster mode (pools live on workers)
 	dcache *storage.DataCache // nil in cluster mode
+	clu    *cluster.Cluster   // nil in in-process mode
 	mu     sync.Mutex
 	views  map[string]*spreadsheet.View
 }
@@ -63,6 +64,7 @@ func main() {
 		loader engine.Loader
 		pool   *colstore.Pool
 		dcache *storage.DataCache
+		clu    *cluster.Cluster
 	)
 	if *workers == "" {
 		budgetBytes := storage.PoolBudgetFromEnv()
@@ -85,12 +87,14 @@ func main() {
 		}
 		defer c.Close()
 		loader = c.Loader()
+		clu = c
 		log.Printf("hillview: connected to %d workers", len(addrs))
 	}
 	s := &server{
 		sheet:  spreadsheet.New(engine.NewRoot(loader)),
 		pool:   pool,
 		dcache: dcache,
+		clu:    clu,
 		views:  make(map[string]*spreadsheet.View),
 	}
 	mux := http.NewServeMux()
@@ -133,6 +137,18 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			"columns": ps.Columns, "pinned": ps.Pinned,
 			"hits": ps.Hits, "misses": ps.Misses, "evictions": ps.Evictions,
 		}
+	}
+	if s.clu != nil {
+		conns := make([]map[string]any, 0, len(s.clu.Clients()))
+		for _, ws := range s.clu.WireStats() {
+			conns = append(conns, map[string]any{
+				"worker":  ws.Addr,
+				"bytesIn": ws.BytesIn, "bytesOut": ws.BytesOut,
+				"framesIn": ws.FramesIn, "framesOut": ws.FramesOut,
+				"encodeNs": ws.EncodeNS, "decodeNs": ws.DecodeNS,
+			})
+		}
+		out["wire"] = conns
 	}
 	writeJSON(w, out)
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/colstore"
 	"repro/internal/engine"
 	"repro/internal/flights"
@@ -105,6 +106,51 @@ func TestStatusEndpoint(t *testing.T) {
 	cc := body["computationCache"].(map[string]any)
 	if cc["hits"].(float64)+cc["misses"].(float64) == 0 {
 		t.Errorf("computation cache never consulted: %v", cc)
+	}
+}
+
+// TestStatusEndpointClusterWire checks that in cluster mode the status
+// endpoint reports per-connection wire counters: bytes and frames in
+// each direction plus encode/decode time — the observability behind the
+// binary codec's bandwidth claims.
+func TestStatusEndpointClusterWire(t *testing.T) {
+	flights.Register()
+	w := cluster.NewWorker(storage.NewLoader(engine.Config{AggregationWindow: -1}, 0))
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	clu, err := cluster.Connect([]string{addr}, engine.Config{AggregationWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clu.Close()
+	s := &server{
+		sheet: spreadsheet.New(engine.NewRoot(clu.Loader())),
+		clu:   clu,
+		views: make(map[string]*spreadsheet.View),
+	}
+	if rec, _ := get(t, s.handleLoad, "/api/load?name=fl&source=flights:rows=2000,parts=2,seed=1"); rec.Code != http.StatusOK {
+		t.Fatalf("load: %d %s", rec.Code, rec.Body.String())
+	}
+	get(t, s.handleMeta, "/api/meta?view=fl")
+	rec, body := get(t, s.handleStatus, "/api/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status: %d %s", rec.Code, rec.Body.String())
+	}
+	conns, ok := body["wire"].([]any)
+	if !ok || len(conns) != 1 {
+		t.Fatalf("wire section missing or wrong size: %v", body["wire"])
+	}
+	c0 := conns[0].(map[string]any)
+	if c0["worker"].(string) != addr {
+		t.Errorf("worker = %v, want %s", c0["worker"], addr)
+	}
+	for _, key := range []string{"bytesIn", "bytesOut", "framesIn", "framesOut", "encodeNs", "decodeNs"} {
+		if v, ok := c0[key].(float64); !ok || v <= 0 {
+			t.Errorf("wire counter %q did not move: %v", key, c0[key])
+		}
 	}
 }
 

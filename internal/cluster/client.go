@@ -65,6 +65,14 @@ func (c *Client) BytesReceived() int64 { return c.fc.BytesIn() }
 // BytesSent returns bytes sent to the worker.
 func (c *Client) BytesSent() int64 { return c.fc.BytesOut() }
 
+// WireStats returns this connection's transport counters: bytes and
+// frames in each direction and cumulative encode/decode nanoseconds.
+func (c *Client) WireStats() WireStats {
+	s := c.fc.stats()
+	s.Addr = c.addr
+	return s
+}
+
 // Close tears down the connection; in-flight requests fail.
 func (c *Client) Close() error {
 	c.fail(errors.New("cluster: client closed"))

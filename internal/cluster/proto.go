@@ -1,16 +1,3 @@
-// Package cluster is the distribution substrate of Hillview (paper §5.2
-// and §6): worker servers hold dataset partitions and run vizketch
-// summarize functions; the root connects to workers over TCP and builds
-// execution trees whose remote edges carry only small messages —
-// queries down, summaries up.
-//
-// The paper uses gRPC with RxJava streams; under the stdlib-only
-// constraint this package implements the same contract with
-// length-prefixed gob frames over net.Conn: request multiplexing over
-// one connection per worker, server-streamed partial results,
-// out-of-band cancellation that bypasses request queues (paper §5.3),
-// and per-connection byte accounting (which the evaluation harness uses
-// to reproduce the bandwidth measurements of Figure 5).
 package cluster
 
 import (
@@ -21,9 +8,11 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/sketch"
+	"repro/internal/wire"
 )
 
 // MsgKind discriminates protocol messages.
@@ -53,10 +42,18 @@ const (
 	MsgFinal
 	// MsgError reports request failure.
 	MsgError
+	// MsgGobEnvelope is the fallback frame: a whole Envelope encoded
+	// with a fresh (stateless) gob encoder. The transport emits it
+	// whenever an envelope carries a sketch, map op, or result type
+	// with no registered binary codec, so third-party types keep
+	// working over the wire at gob speed while every shipped type takes
+	// the typed path.
+	MsgGobEnvelope
 )
 
 // Envelope is the single frame type; fields are populated per Kind.
-// One struct keeps gob simple and the protocol easy to evolve.
+// One struct keeps the protocol easy to evolve and gives the gob
+// fallback a single self-describing payload.
 type Envelope struct {
 	ReqID uint64
 	Kind  MsgKind
@@ -83,44 +80,297 @@ type Envelope struct {
 	ErrMissing bool          // MsgError: dataset was soft-state and is gone
 }
 
-// frameConn frames gob-encoded envelopes with a uint32 length prefix
-// and counts bytes in each direction. Writers are serialized; there is
-// a single reader goroutine per connection. The gob encoder and decoder
-// persist for the connection's lifetime, so type descriptors travel
-// once per connection rather than once per message — the property a
-// schema-based RPC stack (the paper's gRPC) has, and the reason
-// Hillview's per-query bytes stay summary-sized.
-type frameConn struct {
-	rw      io.ReadWriter
-	in, out atomic.Int64
+// Binary frame layout (after the 4-byte big-endian outer length):
+//
+//	magic (0x48) | version (0x01) | kind | flags | uvarint reqID | body
+//
+// Every frame is self-contained: no state spans frames, so any frame
+// decodes in isolation and byte-level duplication or reordering of
+// whole frames can never corrupt the decoder (the property the seed's
+// stateful per-connection gob stream lacked). The one deliberate
+// exception is flagDelta partials, which reference the previous partial
+// of the same request by sequence number and degrade to a clean error —
+// never a wrong result — when the base is missing.
+const (
+	frameMagic   = 0x48 // 'H'
+	frameVersion = 0x01
+)
 
-	wmu    sync.Mutex
-	encBuf bytes.Buffer
-	enc    *gob.Encoder
-
-	decBuf bytes.Buffer
-	dec    *gob.Decoder
-}
+// Frame flag bits.
+const (
+	// flagDelta marks a MsgPartial whose result payload is a delta
+	// against the request's previous partial (see appendResultLocked).
+	flagDelta byte = 1 << 0
+	// flagNoPartials carries Envelope.NoPartials on MsgSketch.
+	flagNoPartials byte = 1 << 1
+	// flagErrMissing carries Envelope.ErrMissing on MsgError.
+	flagErrMissing byte = 1 << 2
+)
 
 // maxFrameSize bounds a frame; summaries are small by construction
 // (paper §4.2), so anything near this limit indicates a bug, not data.
 const maxFrameSize = 1 << 28
 
+// maxRetainedBuf caps the codec buffers kept across frames (the pooled
+// encode buffers and each connection's read buffer). A rare multi-MB
+// frame may allocate what it needs, but steady-state frames are
+// KB-sized, and retaining a one-off giant buffer for a connection's
+// lifetime would pin dead memory on every long-lived cluster process.
+const maxRetainedBuf = 1 << 20
+
+// frameBufPool recycles encode buffers across connections: a frame is
+// encoded into a pooled buffer, written with a single Write, and the
+// buffer returned — zero steady-state allocations per sent frame
+// (asserted by TestFrameEncodeZeroAllocs).
+var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+type frameBuf struct{ b []byte }
+
+// partialState tracks the delta chain of one request's partial stream
+// on one side of the wire: the last full snapshot and its sequence
+// number. The sender writes deltas against its last sent partial; the
+// receiver reconstructs against its last received one. Sequence numbers
+// keep the two in lockstep: a duplicated frame (seq ≤ last seen) is
+// answered with the already-reconstructed snapshot instead of being
+// re-applied, which is what makes delta partials idempotent under
+// byte-level frame duplication.
+type partialState struct {
+	seq  uint64
+	last sketch.Result
+}
+
+// frameConn frames envelopes with a uint32 big-endian length prefix and
+// counts bytes, frames, and codec nanoseconds in each direction.
+// Writers are serialized; there is a single reader goroutine per
+// connection. Encoding is the stateless binary codec above; envelopes
+// carrying types without a registered codec fall back to MsgGobEnvelope
+// frames (a fresh gob encoder per frame, so even the fallback is
+// stateless).
+type frameConn struct {
+	rw      io.ReadWriter
+	in, out atomic.Int64
+	// frame and codec-time counters, surfaced through WireStats.
+	framesIn, framesOut atomic.Int64
+	encodeNS, decodeNS  atomic.Int64
+
+	wmu    sync.Mutex
+	seqOut map[uint64]*partialState // send-side delta chains, under wmu
+
+	// Reader state: single reader per connection, no lock.
+	readBuf []byte
+	seqIn   map[uint64]*partialState // recv-side delta chains
+
+	// legacyGob switches the connection to the seed's stateful
+	// per-connection gob stream. It exists only for interleaved A/B
+	// benchmarks (BenchmarkWire*) and is never set in production: the
+	// binary codec is the default and gob is otherwise reachable only
+	// through the per-frame fallback envelope.
+	legacyGob bool
+	encBuf    bytes.Buffer
+	enc       *gob.Encoder
+	decBuf    bytes.Buffer
+	dec       *gob.Decoder
+}
+
+// legacyGobDefault forces every new connection onto the seed gob codec.
+// It exists only so the interleaved A/B benchmarks (BenchmarkWire*) can
+// drive the full worker/client path through both codecs; production
+// never sets it.
+var legacyGobDefault atomic.Bool
+
 func newFrameConn(rw io.ReadWriter) *frameConn {
-	c := &frameConn{rw: rw}
+	if legacyGobDefault.Load() {
+		return newLegacyGobFrameConn(rw)
+	}
+	return &frameConn{
+		rw:     rw,
+		seqOut: make(map[uint64]*partialState),
+		seqIn:  make(map[uint64]*partialState),
+	}
+}
+
+// newLegacyGobFrameConn builds a connection speaking the seed protocol:
+// gob envelopes over a persistent per-connection encoder/decoder pair.
+// Benchmark-only; see frameConn.legacyGob.
+func newLegacyGobFrameConn(rw io.ReadWriter) *frameConn {
+	c := &frameConn{
+		rw:        rw,
+		seqOut:    make(map[uint64]*partialState),
+		seqIn:     make(map[uint64]*partialState),
+		legacyGob: true,
+	}
 	c.enc = gob.NewEncoder(&c.encBuf)
 	c.dec = gob.NewDecoder(&c.decBuf)
 	return c
 }
 
-// send gob-encodes env as one length-prefixed frame.
+// needsGobFallback reports whether any payload of env lacks a binary
+// codec, forcing the whole envelope onto the gob fallback frame.
+func needsGobFallback(env *Envelope) bool {
+	if env.Sketch != nil && !sketch.SketchHasCodec(env.Sketch) {
+		return true
+	}
+	if env.Op != nil && !engine.OpHasCodec(env.Op) {
+		return true
+	}
+	if env.Result != nil && !sketch.ResultHasCodec(env.Result) {
+		return true
+	}
+	return false
+}
+
+// send encodes env as one self-contained length-prefixed frame and
+// writes it with a single Write call.
 func (c *frameConn) send(env *Envelope) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.legacyGob {
+		return c.sendLegacyLocked(env)
+	}
+	start := time.Now()
+	fb := frameBufPool.Get().(*frameBuf)
+	buf := append(fb.b[:0], 0, 0, 0, 0) // outer length placeholder
+	buf, err := c.appendFrameLocked(buf, env)
+	if err != nil {
+		if cap(buf) <= maxRetainedBuf {
+			fb.b = buf
+			frameBufPool.Put(fb)
+		}
+		return err
+	}
+	if len(buf)-4 > maxFrameSize {
+		return fmt.Errorf("cluster: encode: frame of %d bytes exceeds limit", len(buf)-4)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	c.encodeNS.Add(time.Since(start).Nanoseconds())
+	_, werr := c.rw.Write(buf)
+	if cap(buf) <= maxRetainedBuf {
+		fb.b = buf
+		frameBufPool.Put(fb)
+	}
+	if werr != nil {
+		return werr
+	}
+	c.out.Add(int64(len(buf)))
+	c.framesOut.Add(1)
+	return nil
+}
+
+// appendFrameLocked appends the frame payload (header + body) for env;
+// callers hold wmu (the partial delta chain lives under it).
+func (c *frameConn) appendFrameLocked(buf []byte, env *Envelope) ([]byte, error) {
+	if needsGobFallback(env) {
+		// Kept out of line: taking &buf here would heap-allocate the
+		// slice header on every call, gob branch taken or not.
+		return appendGobEnvelope(buf, env)
+	}
+	flags := byte(0)
+	if env.NoPartials {
+		flags |= flagNoPartials
+	}
+	if env.ErrMissing {
+		flags |= flagErrMissing
+	}
+	headerAt := len(buf)
+	buf = append(buf, frameMagic, frameVersion, byte(env.Kind), flags)
+	buf = wire.AppendUvarint(buf, env.ReqID)
+	switch env.Kind {
+	case MsgLoad:
+		buf = wire.AppendString(buf, env.DatasetID)
+		buf = wire.AppendString(buf, env.Source)
+	case MsgMap:
+		buf = wire.AppendString(buf, env.DatasetID)
+		buf = wire.AppendString(buf, env.NewID)
+		var ok bool
+		if buf, ok = engine.AppendOpWire(buf, env.Op); !ok {
+			return buf, fmt.Errorf("cluster: encode: op %T lost its codec", env.Op)
+		}
+	case MsgSketch:
+		buf = wire.AppendString(buf, env.DatasetID)
+		var ok bool
+		if buf, ok = sketch.AppendSketchWire(buf, env.Sketch); !ok {
+			return buf, fmt.Errorf("cluster: encode: sketch %T lost its codec", env.Sketch)
+		}
+	case MsgCancel, MsgPing, MsgDrop:
+		if env.Kind == MsgDrop {
+			buf = wire.AppendString(buf, env.DatasetID)
+		}
+	case MsgOK:
+		buf = wire.AppendUvarint(buf, uint64(env.NumLeaves))
+	case MsgPartial, MsgFinal:
+		buf = wire.AppendUvarint(buf, uint64(env.Done))
+		buf = wire.AppendUvarint(buf, uint64(env.Total))
+		return c.appendResultLocked(buf, headerAt, env)
+	case MsgError:
+		// An error ends the request's partial stream just as a final
+		// does; retire its delta chain or every cancelled query (the
+		// normal Hillview interaction) leaks its last snapshot.
+		delete(c.seqOut, env.ReqID)
+		buf = wire.AppendString(buf, env.Err)
+	default:
+		return buf, fmt.Errorf("cluster: encode: unknown kind %d", env.Kind)
+	}
+	return buf, nil
+}
+
+// appendResultLocked writes the seq + result payload of a partial or
+// final frame, maintaining the request's delta chain. A MsgPartial
+// whose result type supports deltas and whose request already sent a
+// compatible partial ships only the increments (flagDelta); the final
+// is always a full snapshot and retires the chain.
+func (c *frameConn) appendResultLocked(buf []byte, headerAt int, env *Envelope) ([]byte, error) {
+	if env.Kind == MsgFinal {
+		delete(c.seqOut, env.ReqID)
+		buf = wire.AppendUvarint(buf, 0) // finals carry no sequence
+		if env.Result == nil {
+			return append(buf, 0), nil // tag 0: no result
+		}
+		if out, ok := sketch.AppendResultWire(buf, env.Result); ok {
+			return out, nil
+		}
+		return buf, fmt.Errorf("cluster: encode: result %T lost its codec", env.Result)
+	}
+	if env.Result == nil {
+		// Tag 0: a result-less partial. It must not advance the delta
+		// chain — the receiving tag-0 branch leaves its chain untouched,
+		// and a sender-only seq bump would make the next real delta look
+		// like it skipped a base.
+		buf = wire.AppendUvarint(buf, 0)
+		return append(buf, 0), nil
+	}
+	st := c.seqOut[env.ReqID]
+	if st == nil {
+		st = &partialState{}
+		c.seqOut[env.ReqID] = st
+	}
+	st.seq++
+	buf = wire.AppendUvarint(buf, st.seq)
+	if st.last != nil {
+		if out, ok := sketch.AppendResultDeltaWire(buf, env.Result, st.last); ok {
+			buf = out
+			buf[headerAt+3] |= flagDelta
+			st.last = env.Result
+			return buf, nil
+		}
+	}
+	out, ok := sketch.AppendResultWire(buf, env.Result)
+	if !ok {
+		return buf, fmt.Errorf("cluster: encode: result %T lost its codec", env.Result)
+	}
+	st.last = env.Result
+	return out, nil
+}
+
+// sendLegacyLocked is the seed path: gob over a persistent encoder. It
+// carries the same encode-time accounting as the binary path so the
+// interleaved A/B benchmarks compare codecs, not instrumentation.
+func (c *frameConn) sendLegacyLocked(env *Envelope) error {
+	start := time.Now()
 	c.encBuf.Reset()
 	if err := c.enc.Encode(env); err != nil {
 		return fmt.Errorf("cluster: encode: %w", err)
 	}
+	c.encodeNS.Add(time.Since(start).Nanoseconds())
 	payload := c.encBuf.Bytes()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -131,12 +381,33 @@ func (c *frameConn) send(env *Envelope) error {
 		return err
 	}
 	c.out.Add(int64(len(payload)) + 4)
+	c.framesOut.Add(1)
 	return nil
 }
 
-// recv reads one frame. Frames arrive in send order (sends are
-// serialized), so feeding each frame's payload to the persistent
-// decoder reconstructs the gob stream.
+// appendGobEnvelope writes the fallback frame: header plus the whole
+// envelope through a fresh (stateless) gob encoder.
+func appendGobEnvelope(buf []byte, env *Envelope) ([]byte, error) {
+	buf = append(buf, frameMagic, frameVersion, byte(MsgGobEnvelope), 0)
+	buf = wire.AppendUvarint(buf, env.ReqID)
+	w := sliceWriter{buf: &buf}
+	if err := gob.NewEncoder(w).Encode(env); err != nil {
+		return buf, fmt.Errorf("cluster: encode: %w", err)
+	}
+	return buf, nil
+}
+
+// sliceWriter lets a fresh gob encoder append straight into the pooled
+// frame buffer.
+type sliceWriter struct{ buf *[]byte }
+
+func (w sliceWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}
+
+// recv reads one frame and decodes it. Every frame is self-contained,
+// so a frame decodes (or fails cleanly) regardless of what preceded it.
 func (c *frameConn) recv() (*Envelope, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
@@ -146,15 +417,182 @@ func (c *frameConn) recv() (*Envelope, error) {
 	if n > maxFrameSize {
 		return nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
 	}
-	if _, err := io.CopyN(&c.decBuf, c.rw, int64(n)); err != nil {
+	if cap(c.readBuf) < int(n) {
+		c.readBuf = make([]byte, n)
+	}
+	payload := c.readBuf[:n]
+	if _, err := io.ReadFull(c.rw, payload); err != nil {
 		return nil, err
 	}
 	c.in.Add(int64(n) + 4)
-	var env Envelope
-	if err := c.dec.Decode(&env); err != nil {
+	c.framesIn.Add(1)
+	start := time.Now()
+	env, err := c.decodeFrame(payload)
+	c.decodeNS.Add(time.Since(start).Nanoseconds())
+	if cap(c.readBuf) > maxRetainedBuf {
+		// Decoded values never alias the read buffer, so a one-off giant
+		// frame's buffer can be released immediately.
+		c.readBuf = nil
+	}
+	return env, err
+}
+
+// decodeFrame parses one frame payload.
+func (c *frameConn) decodeFrame(payload []byte) (*Envelope, error) {
+	if c.legacyGob {
+		c.decBuf.Write(payload)
+		var env Envelope
+		if err := c.dec.Decode(&env); err != nil {
+			return nil, fmt.Errorf("cluster: decode: %w", err)
+		}
+		return &env, nil
+	}
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("cluster: decode: frame of %d bytes is shorter than a header", len(payload))
+	}
+	if payload[0] != frameMagic {
+		return nil, fmt.Errorf("cluster: decode: bad magic 0x%02x", payload[0])
+	}
+	if payload[1] != frameVersion {
+		return nil, fmt.Errorf("cluster: decode: unsupported frame version %d", payload[1])
+	}
+	kind := MsgKind(payload[2])
+	flags := payload[3]
+	reqID, b, err := wire.ConsumeUvarint(payload[4:])
+	if err != nil {
 		return nil, fmt.Errorf("cluster: decode: %w", err)
 	}
-	return &env, nil
+	env := &Envelope{ReqID: reqID, Kind: kind}
+	env.NoPartials = flags&flagNoPartials != 0
+	env.ErrMissing = flags&flagErrMissing != 0
+	switch kind {
+	case MsgGobEnvelope:
+		var inner Envelope
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&inner); err != nil {
+			return nil, fmt.Errorf("cluster: decode: fallback envelope: %w", err)
+		}
+		return &inner, nil
+	case MsgLoad:
+		if env.DatasetID, b, err = wire.ConsumeString(b); err == nil {
+			env.Source, b, err = wire.ConsumeString(b)
+		}
+	case MsgMap:
+		if env.DatasetID, b, err = wire.ConsumeString(b); err == nil {
+			if env.NewID, b, err = wire.ConsumeString(b); err == nil {
+				env.Op, b, err = engine.DecodeOpWire(b)
+			}
+		}
+	case MsgSketch:
+		if env.DatasetID, b, err = wire.ConsumeString(b); err == nil {
+			env.Sketch, b, err = sketch.DecodeSketchWire(b)
+		}
+	case MsgCancel, MsgPing:
+	case MsgDrop:
+		env.DatasetID, b, err = wire.ConsumeString(b)
+	case MsgOK:
+		var v uint64
+		v, b, err = wire.ConsumeUvarint(b)
+		env.NumLeaves = int(v)
+	case MsgPartial, MsgFinal:
+		b, err = c.decodeResult(env, flags, b)
+	case MsgError:
+		// Mirror of the send side: an error retires the request's
+		// receive-side delta chain.
+		delete(c.seqIn, reqID)
+		env.Err, b, err = wire.ConsumeString(b)
+	default:
+		return nil, fmt.Errorf("cluster: decode: unknown frame kind %d", kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: decode: %w", err)
+	}
+	if len(b) != 0 {
+		// A well-formed frame is consumed exactly; leftover bytes mean a
+		// desynchronized or spliced stream (e.g. a truncated frame whose
+		// outer length swallowed part of the next one) whose field parse
+		// happened to succeed — corruption must surface, never a
+		// structurally plausible envelope with garbage values.
+		return nil, fmt.Errorf("cluster: decode: %w", wire.Corruptf("%d trailing bytes after %v frame", len(b), kind))
+	}
+	return env, nil
+}
+
+// decodeResult parses the body of a partial or final frame and runs the
+// receive side of the delta chain (see partialState). It returns the
+// unconsumed remainder; paths that deliberately skip the body (replayed
+// duplicates, whose payload was already reconstructed) report it fully
+// consumed so the caller's trailing-bytes check only fires on frames
+// the decoder actually parsed.
+func (c *frameConn) decodeResult(env *Envelope, flags byte, b []byte) ([]byte, error) {
+	done, b, err := wire.ConsumeUvarint(b)
+	if err != nil {
+		return b, err
+	}
+	total, b, err := wire.ConsumeUvarint(b)
+	if err != nil {
+		return b, err
+	}
+	seq, b, err := wire.ConsumeUvarint(b)
+	if err != nil {
+		return b, err
+	}
+	env.Done, env.Total = int(done), int(total)
+	if len(b) > 0 && b[0] == 0 && flags&flagDelta == 0 {
+		// Tag 0: a result-less frame; the delta chain is untouched.
+		if env.Kind == MsgFinal {
+			delete(c.seqIn, env.ReqID)
+		}
+		return b[1:], nil
+	}
+	if env.Kind == MsgFinal {
+		delete(c.seqIn, env.ReqID)
+		if flags&flagDelta != 0 {
+			return b, wire.Corruptf("delta flag on a final frame")
+		}
+		env.Result, b, err = sketch.DecodeResultWire(b)
+		return b, err
+	}
+	st := c.seqIn[env.ReqID]
+	if flags&flagDelta != 0 {
+		switch {
+		case st == nil || st.last == nil:
+			return b, wire.Corruptf("delta partial without a base (req %d seq %d)", env.ReqID, seq)
+		case seq <= st.seq:
+			// A replayed frame (byte-level duplication): the snapshot it
+			// would reconstruct is already reconstructed. Deliver that and
+			// leave the chain untouched — re-applying the delta would
+			// double-count. The body is not re-parsed.
+			env.Result = st.last
+			return nil, nil
+		case seq != st.seq+1:
+			return b, wire.Corruptf("delta partial skips bases (req %d seq %d after %d)", env.ReqID, seq, st.seq)
+		}
+		cur, rest, err := sketch.DecodeResultDeltaWire(b, st.last)
+		if err != nil {
+			return b, err
+		}
+		st.seq, st.last = seq, cur
+		env.Result = cur
+		return rest, nil
+	}
+	if st != nil && seq <= st.seq {
+		// Duplicated full partial: the chain has moved past it; hand the
+		// consumer the freshest snapshot instead of rewinding the base.
+		// The body is not re-parsed.
+		env.Result = st.last
+		return nil, nil
+	}
+	r, rest, err := sketch.DecodeResultWire(b)
+	if err != nil {
+		return b, err
+	}
+	if st == nil {
+		st = &partialState{}
+		c.seqIn[env.ReqID] = st
+	}
+	st.seq, st.last = seq, r
+	env.Result = r
+	return rest, nil
 }
 
 // BytesIn returns bytes received on this connection.
@@ -162,3 +600,25 @@ func (c *frameConn) BytesIn() int64 { return c.in.Load() }
 
 // BytesOut returns bytes sent on this connection.
 func (c *frameConn) BytesOut() int64 { return c.out.Load() }
+
+// WireStats is one connection's transport counters: bytes and frames in
+// each direction plus cumulative encode/decode time, the observability
+// hook behind /api/status (and the bandwidth measurements of the
+// paper's Figure 5).
+type WireStats struct {
+	Addr                string
+	BytesIn, BytesOut   int64
+	FramesIn, FramesOut int64
+	EncodeNS, DecodeNS  int64
+}
+
+func (c *frameConn) stats() WireStats {
+	return WireStats{
+		BytesIn:   c.in.Load(),
+		BytesOut:  c.out.Load(),
+		FramesIn:  c.framesIn.Load(),
+		FramesOut: c.framesOut.Load(),
+		EncodeNS:  c.encodeNS.Load(),
+		DecodeNS:  c.decodeNS.Load(),
+	}
+}

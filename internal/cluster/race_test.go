@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation adds allocations that void the
+// zero-alloc assertion.
+const raceEnabled = true

@@ -107,6 +107,16 @@ func (c *Cluster) BytesSent() int64 {
 	return n
 }
 
+// WireStats returns per-connection transport counters for every worker
+// connection, in Clients() order.
+func (c *Cluster) WireStats() []WireStats {
+	out := make([]WireStats, len(c.clients))
+	for i, cl := range c.clients {
+		out[i] = cl.WireStats()
+	}
+	return out
+}
+
 // ExpandSource substitutes the {worker} placeholder in a source spec
 // with the worker index, so one redo-log record describes every
 // worker's shard (e.g. "dir:/data/shard-{worker}").

@@ -62,11 +62,13 @@ func (w *Worker) SetConnWrapper(f func(net.Conn) net.Conn) {
 
 // SetDuplicatePartials makes the worker re-send each streamed partial
 // result with the given probability (deterministic in seed) — the
-// duplicated-partial fault of the chaos harness. Unlike a byte-level
-// replay, the duplicate is a fresh, valid message in the stateful gob
-// stream, exactly what a retrying emission layer would produce. The
-// protocol tolerates it because partials are cumulative snapshots: the
-// root may apply any partial any number of times.
+// duplicated-partial fault of the chaos harness, modeling a retrying
+// emission layer. The duplicate is re-framed (it gets its own sequence
+// number, so under delta encoding it is a zero delta); the protocol
+// tolerates it because partials are cumulative snapshots: the root may
+// apply any partial any number of times. Byte-identical frame replay is
+// the harsher, transport-level cousin — FaultScript.DupFrameProb —
+// which the stateless codec also absorbs.
 func (w *Worker) SetDuplicatePartials(prob float64, seed uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -189,6 +191,16 @@ func (w *Worker) serveConn(conn net.Conn) {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		mu.Lock()
+		if _, active := cancels[env.ReqID]; active {
+			// A request ID already in flight is a transport-level replay
+			// (the chaos harness duplicates whole frames byte-for-byte;
+			// the stateless codec makes that decodable). Requests are
+			// idempotent but a sketch replay would interleave a second
+			// partial stream under the same ID, so dedup here.
+			mu.Unlock()
+			cancel()
+			continue
+		}
 		cancels[env.ReqID] = cancel
 		mu.Unlock()
 		go func(env *Envelope) {

@@ -44,19 +44,30 @@ func (t TCPTransport) Dial(addr string) (net.Conn, error) {
 //
 //   - delay: the frame is withheld for a random duration ≤ MaxDelay
 //     (slow worker / congested link);
+//
 //   - stall: the frame's bytes are delivered up to a random split
 //     point, then the stream pauses for Stall before the remainder
 //     (partial-frame write, small TCP windows);
+//
 //   - cut: after CutAfterFrames frames the connection is hard-closed
 //     mid-stream (worker crash, network partition).
 //
-// Delay and stall are non-destructive: the protocol must produce
-// exactly the fault-free result under them. A cut must surface as an
-// error (or a completed result that raced ahead) — never a hang and
-// never a silently wrong answer. (Duplicated partials are a protocol-
-// level fault, not a byte-level one — the gob stream is stateful, so
-// replaying raw bytes is corruption, not duplication; see
-// Worker.SetDuplicatePartials for that fault.)
+//   - dup: the frame's raw bytes are delivered twice back to back
+//     (a retransmission artifact). Possible only because the binary
+//     frame codec is stateless — under the seed's stateful gob stream
+//     a byte-level replay was corruption ("duplicate type received"),
+//     which is why duplication originally had to retreat to the
+//     protocol layer (Worker.SetDuplicatePartials, still present as
+//     the retrying-emitter model);
+//
+//   - truncate: a strict prefix of the frame is delivered and the rest
+//     dropped, desynchronizing everything after it (a half-written
+//     frame at a crash boundary).
+//
+// Delay, stall, and dup are non-destructive: the protocol must produce
+// exactly the fault-free result under them. A cut or truncation must
+// surface as an error (or a completed result that raced ahead) — never
+// a hang, never a panic, and never a silently wrong answer.
 type FaultScript struct {
 	Seed uint64
 	// DelayProb delays a frame with this probability, uniform in
@@ -69,6 +80,13 @@ type FaultScript struct {
 	// CutAfterFrames > 0 hard-closes the connection after that many
 	// frames have been received.
 	CutAfterFrames int
+	// DupFrameProb re-delivers a frame's raw bytes immediately after
+	// themselves with this probability (byte-level duplication).
+	DupFrameProb float64
+	// TruncateAfterFrames > 0 delivers only a random strict prefix of
+	// that many-th frame, then keeps streaming subsequent frames
+	// (byte-level truncation: the decoder must error out cleanly).
+	TruncateAfterFrames int
 }
 
 // FaultTransport dials through Inner and wraps every connection in the
@@ -186,6 +204,12 @@ func (c *faultConn) fetchFrame() error {
 	c.stall = -1
 	if c.script.StallProb > 0 && c.rng.Float64() < c.script.StallProb && len(frame) > 1 {
 		c.stall = 1 + c.rng.IntN(len(frame)-1)
+	}
+	if c.script.TruncateAfterFrames > 0 && c.frames == c.script.TruncateAfterFrames && len(frame) > 1 {
+		frame = frame[:1+c.rng.IntN(len(frame)-1)]
+		c.stall = -1
+	} else if c.script.DupFrameProb > 0 && c.rng.Float64() < c.script.DupFrameProb {
+		frame = append(frame, frame...)
 	}
 	c.buf = frame
 	return nil

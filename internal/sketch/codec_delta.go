@@ -1,0 +1,209 @@
+package sketch
+
+import (
+	"repro/internal/wire"
+)
+
+// Delta codecs for the cumulative counter summaries. A request's
+// partial stream re-sends the whole summary on every progress tick;
+// for counter results (histogram, hist2d, trellis) partial k+1 differs
+// from partial k only by the rows scanned in between, so the wire form
+// of a delta partial is just the per-bucket increments in zigzag
+// varints — a near-idle bucket costs one byte instead of eight, and a
+// long partial stream's total bytes stop growing with the number of
+// partials already sent.
+//
+// Geometry (bucket specs, array lengths, sample rate) is carried by the
+// base and copied on reconstruction; a base with different geometry
+// refuses the delta (ok=false) and the sender falls back to a full
+// frame. Deltas are written against the *last sent* partial and applied
+// against the *last received* one; the transport's per-request sequence
+// numbers guarantee those agree even under frame duplication.
+
+// appendCounterDeltas appends cur-prev element-wise as zigzag varints.
+// len(cur) == len(prev) is the caller's geometry check. Most deltas of
+// a partial tick are tiny (a bucket gains a few counts between
+// snapshots), so the single-byte zigzag case is taken out of line of
+// the generic varint encoder.
+func appendCounterDeltas(b []byte, cur, prev []int64) []byte {
+	b = wire.AppendLen(b, len(cur), cur == nil)
+	for i, v := range cur {
+		d := v - prev[i]
+		if u := uint64(d<<1) ^ uint64(d>>63); u < 0x80 {
+			b = append(b, byte(u))
+		} else {
+			b = wire.AppendVarint(b, d)
+		}
+	}
+	return b
+}
+
+// consumeCounterDeltas decodes deltas and returns prev+delta as a new
+// slice (prev is never mutated: the consumer may still hold it).
+func consumeCounterDeltas(b []byte, prev []int64) ([]int64, []byte, error) {
+	n, isNil, rest, err := wire.ConsumeLen(b, 1)
+	if err != nil {
+		return nil, b, err
+	}
+	if isNil {
+		if prev != nil {
+			return nil, b, wire.Corruptf("nil delta over non-nil base")
+		}
+		return nil, rest, nil
+	}
+	if n != len(prev) {
+		return nil, b, wire.Corruptf("delta of %d counters over base of %d", n, len(prev))
+	}
+	out := make([]int64, n)
+	for i := range out {
+		// Single-byte zigzag fast path; the generic decoder handles the
+		// multi-byte tail.
+		if len(rest) > 0 && rest[0] < 0x80 {
+			u := uint64(rest[0])
+			out[i] = prev[i] + (int64(u>>1) ^ -int64(u&1))
+			rest = rest[1:]
+			continue
+		}
+		var d int64
+		d, rest, err = wire.ConsumeVarint(rest)
+		if err != nil {
+			return nil, b, err
+		}
+		out[i] = prev[i] + d
+	}
+	return out, rest, nil
+}
+
+// AppendDeltaWire implements DeltaWireResult.
+func (h *Histogram) AppendDeltaWire(prev Result, b []byte) ([]byte, bool) {
+	p, ok := prev.(*Histogram)
+	if !ok || len(p.Counts) != len(h.Counts) || (p.Counts == nil) != (h.Counts == nil) {
+		return b, false
+	}
+	b = appendCounterDeltas(b, h.Counts, p.Counts)
+	b = wire.AppendVarint(b, h.Missing-p.Missing)
+	b = wire.AppendVarint(b, h.OutOfRange-p.OutOfRange)
+	return wire.AppendVarint(b, h.SampledRows-p.SampledRows), true
+}
+
+// DecodeDeltaWire implements DeltaWireResult.
+func (h *Histogram) DecodeDeltaWire(prev Result, b []byte) ([]byte, error) {
+	p, ok := prev.(*Histogram)
+	if !ok {
+		return b, wire.Corruptf("histogram delta over %T base", prev)
+	}
+	var err error
+	if h.Counts, b, err = consumeCounterDeltas(b, p.Counts); err != nil {
+		return b, err
+	}
+	var d int64
+	if d, b, err = wire.ConsumeVarint(b); err != nil {
+		return b, err
+	}
+	h.Missing = p.Missing + d
+	if d, b, err = wire.ConsumeVarint(b); err != nil {
+		return b, err
+	}
+	h.OutOfRange = p.OutOfRange + d
+	if d, b, err = wire.ConsumeVarint(b); err != nil {
+		return b, err
+	}
+	h.SampledRows = p.SampledRows + d
+	h.Buckets = p.Buckets
+	h.SampleRate = p.SampleRate
+	return b, nil
+}
+
+// AppendDeltaWire implements DeltaWireResult.
+func (h *Histogram2D) AppendDeltaWire(prev Result, b []byte) ([]byte, bool) {
+	p, ok := prev.(*Histogram2D)
+	if !ok || len(p.Counts) != len(h.Counts) || len(p.YOther) != len(h.YOther) ||
+		(p.Counts == nil) != (h.Counts == nil) || (p.YOther == nil) != (h.YOther == nil) {
+		return b, false
+	}
+	b = appendCounterDeltas(b, h.Counts, p.Counts)
+	b = appendCounterDeltas(b, h.YOther, p.YOther)
+	b = wire.AppendVarint(b, h.XMissing-p.XMissing)
+	return wire.AppendVarint(b, h.SampledRows-p.SampledRows), true
+}
+
+// DecodeDeltaWire implements DeltaWireResult.
+func (h *Histogram2D) DecodeDeltaWire(prev Result, b []byte) ([]byte, error) {
+	p, ok := prev.(*Histogram2D)
+	if !ok {
+		return b, wire.Corruptf("hist2d delta over %T base", prev)
+	}
+	var err error
+	if h.Counts, b, err = consumeCounterDeltas(b, p.Counts); err != nil {
+		return b, err
+	}
+	if h.YOther, b, err = consumeCounterDeltas(b, p.YOther); err != nil {
+		return b, err
+	}
+	var d int64
+	if d, b, err = wire.ConsumeVarint(b); err != nil {
+		return b, err
+	}
+	h.XMissing = p.XMissing + d
+	if d, b, err = wire.ConsumeVarint(b); err != nil {
+		return b, err
+	}
+	h.SampledRows = p.SampledRows + d
+	h.X = p.X
+	h.Y = p.Y
+	h.SampleRate = p.SampleRate
+	return b, nil
+}
+
+// AppendDeltaWire implements DeltaWireResult.
+func (t *Trellis) AppendDeltaWire(prev Result, b []byte) ([]byte, bool) {
+	p, ok := prev.(*Trellis)
+	if !ok || len(p.Plots) != len(t.Plots) || (p.Plots == nil) != (t.Plots == nil) {
+		return b, false
+	}
+	mark := len(b)
+	for i, plot := range t.Plots {
+		if plot == nil || p.Plots[i] == nil {
+			return b[:mark], false
+		}
+		var okp bool
+		if b, okp = plot.AppendDeltaWire(p.Plots[i], b); !okp {
+			return b[:mark], false
+		}
+	}
+	b = wire.AppendVarint(b, t.GroupOther-p.GroupOther)
+	return wire.AppendVarint(b, t.SampledRows-p.SampledRows), true
+}
+
+// DecodeDeltaWire implements DeltaWireResult.
+func (t *Trellis) DecodeDeltaWire(prev Result, b []byte) ([]byte, error) {
+	p, ok := prev.(*Trellis)
+	if !ok {
+		return b, wire.Corruptf("trellis delta over %T base", prev)
+	}
+	if p.Plots != nil {
+		t.Plots = make([]*Histogram2D, len(p.Plots))
+	}
+	var err error
+	for i, base := range p.Plots {
+		if base == nil {
+			return b, wire.Corruptf("trellis delta over nil plot base")
+		}
+		t.Plots[i] = &Histogram2D{}
+		if b, err = t.Plots[i].DecodeDeltaWire(base, b); err != nil {
+			return b, err
+		}
+	}
+	var d int64
+	if d, b, err = wire.ConsumeVarint(b); err != nil {
+		return b, err
+	}
+	t.GroupOther = p.GroupOther + d
+	if d, b, err = wire.ConsumeVarint(b); err != nil {
+		return b, err
+	}
+	t.SampledRows = p.SampledRows + d
+	t.Group = p.Group
+	t.SampleRate = p.SampleRate
+	return b, nil
+}

@@ -4,9 +4,11 @@ import "encoding/gob"
 
 // wireSketches holds one prototype per shipped sketch type. It is the
 // single source of truth for "every sketch in the system": gob wire
-// registration ranges over it, and the testkit differential oracle
-// asserts it covers exactly this list (a sketch added here without an
-// Oracle registration fails the harness coverage test).
+// registration ranges over it, the testkit differential oracle asserts
+// it covers exactly this list (a sketch added here without an Oracle
+// registration fails the harness coverage test), and the binary codec
+// coverage test (codec_test.go) fails any entry whose sketch or result
+// type lacks a registered wire codec (codec.go).
 var wireSketches = []Sketch{
 	&HistogramSketch{},
 	&SampledHistogramSketch{},
@@ -35,7 +37,10 @@ func WireSketches() []Sketch {
 // sketches can be shipped to remote workers and summaries shipped back
 // (paper §5.5: a vizketch needs "a serializable type for the summary").
 // Registering here, in the package both sides import, guarantees the
-// root and the workers agree on the wire names.
+// root and the workers agree on the wire names. Since the binary codec
+// became the transport default, gob carries only the fallback envelope
+// (cluster.MsgGobEnvelope) — these registrations keep that path and
+// third-party sketches working.
 func init() {
 	// Summaries.
 	gob.Register(&Histogram{})

@@ -82,6 +82,49 @@ func RunFaults(seed uint64) error {
 					})
 				})
 		}},
+		// Byte-level frame duplication on both sides of the wire. This
+		// schedule was impossible under the seed's stateful gob stream
+		// (replayed bytes corrupted the decoder); the stateless frame
+		// codec must absorb it bit-invisibly: replayed responses are
+		// deduplicated by the partial sequence chain, replayed requests
+		// by the worker's in-flight request table.
+		{"byte-level frame duplication", func() error {
+			return nonDestructive(seed, cfg, src, tables, probes, want,
+				cluster.FaultTransport{Script: cluster.FaultScript{
+					Seed:         seed ^ 0xd1,
+					DupFrameProb: 0.5,
+				}},
+				func(w *cluster.Worker) {
+					w.SetConnWrapper(func(c net.Conn) net.Conn {
+						return cluster.NewFaultConn(c, cluster.FaultScript{
+							Seed:         seed ^ 0xd2,
+							DupFrameProb: 0.5,
+						})
+					})
+				})
+		}},
+		// Byte-level truncation: a random prefix of one response frame,
+		// with the stream continuing after it. Destructive — the stream
+		// desynchronizes — so the contract is a clean surfaced error or
+		// a correct result, never a panic, hang, or wrong answer.
+		// Two trials, not three: a desynchronized stream resolves only
+		// at the query deadline plus the cancel drain, and the whole
+		// schedule must fit the hang-detector budget.
+		// Truncation lands on frame ≥ 2 so the load ack (frame 1 per
+		// connection) survives: a truncated frame leaves the reader
+		// waiting for bytes that never come, and the load path's own
+		// deadline is minutes — the probe query's deadline, not the
+		// schedule's hang detector, is what must bound the stall.
+		{"byte-level frame truncation", func() error {
+			var firstErr error
+			for trial := 0; trial < 2; trial++ {
+				after := 2 + int(rng.Uint64()%7)
+				if err := destructiveTruncate(seed, cfg, src, tables, probes[0], want[0], after); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("truncate frame %d: %w", after, err)
+				}
+			}
+			return firstErr
+		}},
 		{"connection cut", func() error {
 			var firstErr error
 			for trial := 0; trial < 3; trial++ {
@@ -177,6 +220,40 @@ func destructiveCut(seed uint64, cfg engine.Config, src string, tables []*table.
 	o, _ := sketch.OracleFor(probe)
 	if err := o.CheckPeer(probe, tables, want, got); err != nil {
 		return fmt.Errorf("survived the cut with a wrong result: %w", err)
+	}
+	return nil
+}
+
+// destructiveTruncate runs one probe over a connection that delivers a
+// random strict prefix of one scripted frame and then keeps streaming:
+// everything after the truncation desynchronizes, so the decoder must
+// surface a clean error (or the result may have raced to completion and
+// must then be correct). The context deadline is deliberately short of
+// the schedule timeout: a desynchronized stream that parses a garbage
+// length can legitimately stall until cancellation, and that
+// cancellation path must itself resolve, not hang.
+func destructiveTruncate(seed uint64, cfg engine.Config, src string, tables []*table.Table,
+	probe sketch.Sketch, want sketch.Result, after int) error {
+	h, err := startCluster(2, cfg, cluster.FaultTransport{Script: cluster.FaultScript{
+		Seed:                seed,
+		TruncateAfterFrames: after,
+	}}, nil)
+	if err != nil {
+		return err
+	}
+	defer h.close()
+	ctx, cancel := context.WithTimeout(context.Background(), runTimeout/8)
+	defer cancel()
+	if _, err := h.root.Load(datasetID, src); err != nil {
+		return nil // the load itself died on the truncation: surfaced, done
+	}
+	got, err := h.root.RunSketch(ctx, datasetID, probe, func(engine.Partial) {})
+	if err != nil {
+		return nil // surfaced error
+	}
+	o, _ := sketch.OracleFor(probe)
+	if err := o.CheckPeer(probe, tables, want, got); err != nil {
+		return fmt.Errorf("survived truncation with a wrong result: %w", err)
 	}
 	return nil
 }
