@@ -17,7 +17,7 @@
 //	/api/heatmap?view=fl&x=DepDelay&y=ArrDelay        heat map summary
 //	/api/heavyhitters?view=fl&col=Origin&k=20         heavy hitters
 //	/api/filter?view=fl&name=ua&expr=Carrier=="UA"    derive a view
-//	/api/status                                       cache + column-pool stats
+//	/api/status                                       cache, pool, wire + cluster-health stats
 //	/api/svg/histogram?view=fl&col=DepDelay           rendered SVG
 package main
 
@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/colstore"
@@ -56,6 +57,8 @@ func main() {
 	workers := flag.String("workers", "", "comma-separated worker addresses (empty = in-process engine)")
 	micro := flag.Int("micro", storage.DefaultMicroRows, "micropartition size for in-process mode")
 	budget := flag.String("pool-budget", "", "column pool byte budget for in-process mode, e.g. 256M (default $HILLVIEW_POOL_BUDGET; 0 = unlimited)")
+	replication := flag.Int("replication", 1, "replicas per partition group (workers are split into len(workers)/R groups)")
+	healthEvery := flag.Duration("health-interval", 2*time.Second, "worker ping interval; 0 disables the health monitor")
 	flag.Parse()
 
 	flights.Register()
@@ -81,14 +84,19 @@ func main() {
 		log.Printf("hillview: in-process engine (pool budget %d bytes)", budgetBytes)
 	} else {
 		addrs := strings.Split(*workers, ",")
-		c, err := cluster.Connect(addrs, cfg)
+		c, err := cluster.ConnectOptions(nil, addrs, cfg, cluster.Options{
+			Replication:    *replication,
+			HealthInterval: *healthEvery,
+		})
 		if err != nil {
 			log.Fatalf("hillview: %v", err)
 		}
 		defer c.Close()
 		loader = c.Loader()
 		clu = c
-		log.Printf("hillview: connected to %d workers", len(addrs))
+		st := c.Stats()
+		log.Printf("hillview: connected to %d workers (%d groups × %d replicas)",
+			len(addrs), st.Groups, st.Replication)
 	}
 	s := &server{
 		sheet:  spreadsheet.New(engine.NewRoot(loader)),
@@ -114,7 +122,9 @@ func main() {
 // handleStatus reports the soft-state caches: the computation cache
 // (engine.Cache), the raw-data cache (storage.DataCache), and — in
 // in-process mode — the column pool's resident/budget/eviction
-// counters.
+// counters. In cluster mode it adds per-connection wire counters and
+// the replication/failover telemetry (worker health, retry and
+// speculation counts) from cluster.Stats.
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	root := s.sheet.Root()
 	hits, misses := root.Cache().Stats()
@@ -149,6 +159,24 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		out["wire"] = conns
+		cs := s.clu.Stats()
+		workers := make([]map[string]any, 0, len(cs.Workers))
+		for _, wh := range cs.Workers {
+			workers = append(workers, map[string]any{
+				"addr": wh.Addr, "group": wh.Group, "state": wh.State,
+				"consecutiveFailures": wh.ConsecutiveFailures,
+				"reconnects":          wh.Reconnects,
+				"generation":          wh.Generation,
+				"lastPingNs":          wh.LastPingNS,
+			})
+		}
+		out["cluster"] = map[string]any{
+			"groups": cs.Groups, "replication": cs.Replication,
+			"workers": workers,
+			"retries": cs.Retries, "specLaunches": cs.SpecLaunches,
+			"specWins": cs.SpecWins, "groupsLost": cs.GroupsLost,
+			"reconnects": cs.Reconnects,
+		}
 	}
 	writeJSON(w, out)
 }

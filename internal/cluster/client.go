@@ -13,6 +13,15 @@ import (
 	"repro/internal/sketch"
 )
 
+// ErrWorkerLost marks transport-level failures of a worker connection:
+// the connection died, a frame stalled past the read watchdog, or the
+// client was closed. Errors wrapping it are retryable on another
+// replica of the same partition range — the failure says nothing about
+// the data or the sketch, only about this worker. Deterministic worker
+// errors (bad column, missing dataset after a replay attempt) do not
+// wrap it.
+var ErrWorkerLost = errors.New("cluster: worker connection lost")
+
 // Client is the root's connection to one worker. Requests multiplex
 // over the single connection; a reader goroutine dispatches response
 // frames to the issuing request.
@@ -40,19 +49,36 @@ func Dial(addr string) (*Client, error) {
 // DialTransport connects to a worker through an explicit transport
 // (tests inject FaultTransport here; production uses Dial).
 func DialTransport(tr Transport, addr string) (*Client, error) {
+	return dialTransportTimeout(tr, addr, 0)
+}
+
+// dialTransportTimeout is DialTransport with an explicit mid-frame read
+// watchdog (0 = defaultFrameTimeout); the cluster health layer dials
+// through it so failover tests can shrink the watchdog.
+func dialTransportTimeout(tr Transport, addr string, frameTimeout time.Duration) (*Client, error) {
 	conn, err := tr.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
+	return newClientConn(conn, addr, frameTimeout), nil
+}
+
+// newClientConn wraps an established connection in a Client (frame
+// timeout 0 = defaultFrameTimeout, negative = disabled).
+func newClientConn(conn net.Conn, addr string, frameTimeout time.Duration) *Client {
+	fc := newFrameConn(conn)
+	if frameTimeout != 0 {
+		fc.readTimeout = frameTimeout
+	}
 	c := &Client{
 		addr:    addr,
 		conn:    conn,
-		fc:      newFrameConn(conn),
+		fc:      fc,
 		pending: make(map[uint64]chan *Envelope),
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 // Addr returns the worker address.
@@ -75,15 +101,24 @@ func (c *Client) WireStats() WireStats {
 
 // Close tears down the connection; in-flight requests fail.
 func (c *Client) Close() error {
-	c.fail(errors.New("cluster: client closed"))
+	c.fail(fmt.Errorf("%w: %s: client closed", ErrWorkerLost, c.addr))
 	return c.conn.Close()
+}
+
+// Dead reports whether the connection has failed (or been closed): a
+// dead client fails every call immediately and can only be replaced,
+// never revived.
+func (c *Client) Dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed != nil
 }
 
 func (c *Client) readLoop() {
 	for {
 		env, err := c.fc.recv()
 		if err != nil {
-			c.fail(fmt.Errorf("cluster: connection to %s lost: %w", c.addr, err))
+			c.fail(fmt.Errorf("%w: %s: %v", ErrWorkerLost, c.addr, err))
 			return
 		}
 		c.mu.Lock()
@@ -177,6 +212,11 @@ func (c *Client) call(ctx context.Context, env *Envelope, onFrame func(*Envelope
 	}()
 
 	if err := c.fc.send(env); err != nil {
+		if errors.Is(err, errWriteFailed) {
+			// A failed write means the connection is gone; encode errors
+			// (deterministic) pass through unwrapped.
+			return fmt.Errorf("%w: %s: %v", ErrWorkerLost, c.addr, err)
+		}
 		return err
 	}
 	for {

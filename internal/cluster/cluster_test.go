@@ -330,7 +330,13 @@ func TestExpandSource(t *testing.T) {
 }
 
 func TestConnectFailure(t *testing.T) {
-	if _, err := Connect([]string{"127.0.0.1:1"}, engine.Config{}); err == nil {
+	// Negative dial budget = single attempt; the default budget would
+	// retry a dead address for seconds before giving up.
+	opts := Options{DialRetryBudget: -1}
+	if _, err := ConnectOptions(nil, []string{"127.0.0.1:1"}, engine.Config{}, opts); err == nil {
 		t.Error("connecting to a dead address should fail")
+	}
+	if _, err := ConnectOptions(nil, nil, engine.Config{}, opts); err == nil {
+		t.Error("connecting to zero addresses should fail")
 	}
 }

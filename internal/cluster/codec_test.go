@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"reflect"
@@ -231,9 +232,20 @@ func TestDeltaWithoutBaseErrors(t *testing.T) {
 	}
 }
 
+// reseal recomputes a frame's CRC trailer after a test mutated its
+// payload, so the mutation under test — not the checksum — is what the
+// decoder rejects.
+func reseal(frame []byte) {
+	payload := frame[4:]
+	body := payload[:len(payload)-frameCRCLen]
+	binary.BigEndian.PutUint32(payload[len(body):], crc32.Checksum(body, crcTable))
+}
+
 // TestTrailingBytesRejected checks that a frame whose body parses but
 // leaves unconsumed bytes — the signature of a spliced/desynchronized
 // stream — is rejected instead of delivered as a plausible envelope.
+// The splice carries a valid checksum so the inner trailing-bytes
+// defense, not the CRC, is what fires.
 func TestTrailingBytesRejected(t *testing.T) {
 	var raw bytes.Buffer
 	fc := newFrameConn(&raw)
@@ -241,14 +253,40 @@ func TestTrailingBytesRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := raw.Bytes()
-	spliced := append(append([]byte{}, b...), 0xde, 0xad) // garbage after the body
-	binary.BigEndian.PutUint32(spliced[:4], uint32(len(spliced)-4))
+	body := b[4 : len(b)-frameCRCLen]                        // strip length prefix and CRC
+	spliced := append(append([]byte{}, body...), 0xde, 0xad) // garbage after the body
+	spliced = binary.BigEndian.AppendUint32(spliced, crc32.Checksum(spliced, crcTable))
+	frame := binary.BigEndian.AppendUint32(nil, uint32(len(spliced)))
+	frame = append(frame, spliced...)
 	recvr := newFrameConn(struct {
 		io.Reader
 		io.Writer
-	}{bytes.NewReader(spliced), io.Discard})
+	}{bytes.NewReader(frame), io.Discard})
 	if _, err := recvr.recv(); err == nil || !strings.Contains(err.Error(), "trailing bytes") {
 		t.Fatalf("spliced frame: want trailing-bytes error, got %v", err)
+	}
+}
+
+// TestChecksumMismatchRejected flips one body byte of a well-formed
+// frame: the CRC trailer must reject it before the body parser can
+// deliver a forged envelope. This is the defense the truncation-splice
+// failover schedules rely on — a desynchronized stream can forge frames
+// that parse cleanly (see the layout comment in proto.go), and only the
+// checksum catches those.
+func TestChecksumMismatchRejected(t *testing.T) {
+	var raw bytes.Buffer
+	fc := newFrameConn(&raw)
+	if err := fc.send(&Envelope{ReqID: 1, Kind: MsgOK, NumLeaves: 3}); err != nil {
+		t.Fatal(err)
+	}
+	b := raw.Bytes()
+	b[len(b)-frameCRCLen-1] ^= 0xff // corrupt the last body byte (NumLeaves)
+	recvr := newFrameConn(struct {
+		io.Reader
+		io.Writer
+	}{bytes.NewReader(b), io.Discard})
+	if _, err := recvr.recv(); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt frame: want checksum error, got %v", err)
 	}
 }
 
@@ -262,6 +300,7 @@ func TestVersionSkewRejected(t *testing.T) {
 	}
 	b := raw.Bytes()
 	b[4+1] = frameVersion + 1 // version byte sits after the length prefix and magic
+	reseal(b)                 // valid CRC, so the version check is what fires
 	recvr := newFrameConn(struct {
 		io.Reader
 		io.Writer

@@ -18,7 +18,7 @@
 // Every frame is a 4-byte big-endian payload length followed by the
 // payload:
 //
-//	magic (0x48 'H') | version (0x01) | kind | flags | uvarint reqID | body
+//	magic (0x48 'H') | version (0x01) | kind | flags | uvarint reqID | body | crc32c
 //
 // The codec is stateless: frames are self-contained, encoded by
 // hand-rolled per-type codecs (no reflection) with little-endian
@@ -27,6 +27,14 @@
 // duplication — which corrupted the seed's stateful per-connection gob
 // stream ("duplicate type received") — is now a tolerated fault, and
 // the chaos harness injects it at the transport layer.
+//
+// The trailing CRC-32C covers the payload between the outer length and
+// itself. It defends against stream desynchronization, not TCP bit rot:
+// a frame truncated mid-write whose connection keeps delivering bytes
+// splices the next frames into its own body, and such a splice can
+// parse into a plausible envelope with garbage values. The checksum
+// turns every splice into a decode error, which fails the connection
+// and hands the in-flight ranges to the failover path below.
 //
 // Frame kinds and bodies (strings are uvarint-length-prefixed):
 //
@@ -75,4 +83,51 @@
 // under fresh tags, and add an oracle + testkit instance — the codec
 // coverage test (sketch.TestWireCodecCoverage) and the oracle coverage
 // test each fail a sketch that skips its half.
+//
+// # Replica map
+//
+// ConnectOptions with Options.Replication = R splits the worker list
+// into len(addrs)/R partition groups; worker i serves group i mod
+// nGroups, so every group has R replicas. The map relies on a property
+// the storage layer already guarantees: a dataset source is a pure
+// function of its spec string, and {worker} in a source expands to the
+// partition *group*, not the worker index. Two replicas of a group
+// therefore regenerate bit-identical shards — same partition IDs, hence
+// same per-partition sampling seeds — and answering any range of leaves
+// from either replica yields byte-for-byte the same summaries. The
+// replicated dataset verifies this at load time (replicas of one group
+// must report identical leaf counts) and poisons the dataset with a
+// hard "not a pure function of its spec" error rather than serve from
+// diverged replicas.
+//
+// Datasets are materialized lazily per worker with a generation
+// counter: a reconnected or rebalanced worker starts at a new
+// generation, and the first query that touches it replays the dataset's
+// lineage (Load, then the MapOp chain) before sketching. AddWorker,
+// RemoveWorker, and Rebalance reshape the map at runtime; moves bump
+// generations so stale state is never consulted.
+//
+// # Failover, speculation, and dedup
+//
+// Queries run through engine.SketchReplicated: each group's leaf range
+// is dispatched to one replica (healthy first); a retryable failure —
+// ErrWorkerLost (connection dead, checksum mismatch, watchdogged frame
+// stall) or engine.ErrMissingDataset (worker restarted) — re-dispatches
+// the range on the next surviving replica. Ranges whose latency exceeds
+// a quantile of completed peers get a speculative duplicate on another
+// replica; first result wins. Because summaries are mergeable and
+// replicas bit-identical, retries and duplicates are deduplicated at
+// merge time by partition range — a group's result is folded exactly
+// once, in range order, so the answer under failover is bit-identical
+// to the fault-free run (the flipped chaos contract:
+// testkit.RunFailover asserts exactly this). When every replica of a
+// group is gone the query fails promptly with a clean error — never a
+// hang, never a partial answer presented as total.
+//
+// A background monitor (Options.HealthInterval) pings workers,
+// trips a consecutive-failure circuit breaker (Options.FailureThreshold),
+// and redials dead workers with capped exponential backoff; recovered
+// workers rejoin their group at a fresh generation. Failover telemetry
+// — per-worker health plus retry/speculation/loss/reconnect counters —
+// is surfaced by Cluster.Stats and /api/status.
 package cluster

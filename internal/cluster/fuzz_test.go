@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"hash/crc32"
 	"io"
 	"testing"
 
@@ -100,12 +101,15 @@ func FuzzFrame(f *testing.F) {
 	// misparsed.
 	skew := frameBytes(f, &Envelope{ReqID: 6, Kind: MsgPing})
 	skew[5] = frameVersion + 1
+	reseal(skew) // valid CRC keeps the version check itself in the corpus
 	f.Add(skew)
 	// Crafted inner length: a histogram declaring 2^40 counters over a
-	// ten-byte body (the OOM probe).
+	// ten-byte body (the OOM probe). Sealed with a valid CRC so the
+	// inner length validation — not the checksum — is what it probes.
 	crafted := []byte{frameMagic, frameVersion, byte(MsgFinal), 0, 7, 1, 1, 0}
 	crafted = append(crafted, 1) // result tag: histogram
 	crafted = append(crafted, appendCraftedHistogram()...)
+	crafted = binary.BigEndian.AppendUint32(crafted, crc32.Checksum(crafted, crcTable))
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(crafted)))
 	f.Add(append(hdr[:], crafted...))

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,7 +85,7 @@ type Envelope struct {
 
 // Binary frame layout (after the 4-byte big-endian outer length):
 //
-//	magic (0x48) | version (0x01) | kind | flags | uvarint reqID | body
+//	magic (0x48) | version (0x01) | kind | flags | uvarint reqID | body | crc32c
 //
 // Every frame is self-contained: no state spans frames, so any frame
 // decodes in isolation and byte-level duplication or reordering of
@@ -91,10 +94,29 @@ type Envelope struct {
 // exception is flagDelta partials, which reference the previous partial
 // of the same request by sequence number and degrade to a clean error —
 // never a wrong result — when the base is missing.
+//
+// The trailing CRC-32C covers everything between the outer length and
+// itself. It exists for stream desynchronization, not for TCP bit rot:
+// when a frame is truncated mid-write (peer crash, scripted fault) and
+// the connection keeps delivering bytes, the dead frame's outer length
+// swallows the next frames' bytes as its body tail. Such a splice keeps
+// the original magic/version/kind/reqID prefix and can parse to a
+// plausible envelope with garbage field values — the trailing-bytes
+// check below cannot catch a splice whose parse happens to consume the
+// length exactly (a truncated MsgOK whose missing NumLeaves varint is
+// "completed" by the next frame's 0x00 length byte decodes as zero
+// leaves). The checksum turns every such forgery into a decode error,
+// which fails the connection and lets the replicated query path retry
+// the range on another replica instead of folding a corrupt summary.
 const (
 	frameMagic   = 0x48 // 'H'
 	frameVersion = 0x01
+	frameCRCLen  = 4
 )
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// amd64/arm64), shared by every connection.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Frame flag bits.
 const (
@@ -110,6 +132,20 @@ const (
 // maxFrameSize bounds a frame; summaries are small by construction
 // (paper §4.2), so anything near this limit indicates a bug, not data.
 const maxFrameSize = 1 << 28
+
+// defaultFrameTimeout bounds how long a frame may take to finish
+// arriving once its first byte has been read. Idle connections wait
+// forever — gaps *between* frames are normal — but a frame that starts
+// and never completes (mid-frame truncation, a peer crashing inside a
+// write) used to wedge the reader until the query deadline; now it
+// surfaces as a read error within this window. Summaries are KB-sized,
+// so any frame needing longer than this mid-flight indicates a dead or
+// byzantine peer, not data volume.
+const defaultFrameTimeout = 10 * time.Second
+
+// errWriteFailed marks frame write failures, so callers can tell a dead
+// connection (retryable on a replica) from a deterministic encode error.
+var errWriteFailed = errors.New("frame write failed")
 
 // maxRetainedBuf caps the codec buffers kept across frames (the pooled
 // encode buffers and each connection's read buffer). A rare multi-MB
@@ -149,6 +185,12 @@ type partialState struct {
 type frameConn struct {
 	rw      io.ReadWriter
 	in, out atomic.Int64
+	// deadliner is rw when it supports read deadlines (net.Conn does;
+	// the in-memory buffers of unit tests do not), enabling the
+	// mid-frame watchdog. readTimeout tunes it (0 = default, negative =
+	// disabled); it must be set before the first recv.
+	deadliner   interface{ SetReadDeadline(time.Time) error }
+	readTimeout time.Duration
 	// frame and codec-time counters, surfaced through WireStats.
 	framesIn, framesOut atomic.Int64
 	encodeNS, decodeNS  atomic.Int64
@@ -182,11 +224,13 @@ func newFrameConn(rw io.ReadWriter) *frameConn {
 	if legacyGobDefault.Load() {
 		return newLegacyGobFrameConn(rw)
 	}
-	return &frameConn{
+	c := &frameConn{
 		rw:     rw,
 		seqOut: make(map[uint64]*partialState),
 		seqIn:  make(map[uint64]*partialState),
 	}
+	c.deadliner, _ = rw.(interface{ SetReadDeadline(time.Time) error })
+	return c
 }
 
 // newLegacyGobFrameConn builds a connection speaking the seed protocol:
@@ -199,6 +243,7 @@ func newLegacyGobFrameConn(rw io.ReadWriter) *frameConn {
 		seqIn:     make(map[uint64]*partialState),
 		legacyGob: true,
 	}
+	c.deadliner, _ = rw.(interface{ SetReadDeadline(time.Time) error })
 	c.enc = gob.NewEncoder(&c.encBuf)
 	c.dec = gob.NewDecoder(&c.decBuf)
 	return c
@@ -238,6 +283,7 @@ func (c *frameConn) send(env *Envelope) error {
 		}
 		return err
 	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf[4:], crcTable))
 	if len(buf)-4 > maxFrameSize {
 		return fmt.Errorf("cluster: encode: frame of %d bytes exceeds limit", len(buf)-4)
 	}
@@ -249,7 +295,7 @@ func (c *frameConn) send(env *Envelope) error {
 		frameBufPool.Put(fb)
 	}
 	if werr != nil {
-		return werr
+		return fmt.Errorf("cluster: %w: %v", errWriteFailed, werr)
 	}
 	c.out.Add(int64(len(buf)))
 	c.framesOut.Add(1)
@@ -375,10 +421,10 @@ func (c *frameConn) sendLegacyLocked(env *Envelope) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := c.rw.Write(hdr[:]); err != nil {
-		return err
+		return fmt.Errorf("cluster: %w: %v", errWriteFailed, err)
 	}
 	if _, err := c.rw.Write(payload); err != nil {
-		return err
+		return fmt.Errorf("cluster: %w: %v", errWriteFailed, err)
 	}
 	c.out.Add(int64(len(payload)) + 4)
 	c.framesOut.Add(1)
@@ -408,10 +454,23 @@ func (w sliceWriter) Write(p []byte) (int, error) {
 
 // recv reads one frame and decodes it. Every frame is self-contained,
 // so a frame decodes (or fails cleanly) regardless of what preceded it.
+//
+// The read is watchdogged: the first header byte may block forever (an
+// idle connection between frames is the steady state), but once a frame
+// has started, its remaining bytes must arrive within readTimeout — a
+// half-written frame (peer crash mid-write, scripted truncation) then
+// surfaces as a prompt error instead of wedging the connection's single
+// reader until the query deadline.
 func (c *frameConn) recv() (*Envelope, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+	if _, err := io.ReadFull(c.rw, hdr[:1]); err != nil {
 		return nil, err
+	}
+	if stop := c.armWatchdog(); stop != nil {
+		defer stop()
+	}
+	if _, err := io.ReadFull(c.rw, hdr[1:]); err != nil {
+		return nil, c.watchdogErr(err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrameSize {
@@ -422,10 +481,21 @@ func (c *frameConn) recv() (*Envelope, error) {
 	}
 	payload := c.readBuf[:n]
 	if _, err := io.ReadFull(c.rw, payload); err != nil {
-		return nil, err
+		return nil, c.watchdogErr(err)
 	}
 	c.in.Add(int64(n) + 4)
 	c.framesIn.Add(1)
+	if !c.legacyGob {
+		if len(payload) < frameCRCLen {
+			return nil, fmt.Errorf("cluster: frame of %d bytes is shorter than its checksum", len(payload))
+		}
+		body := payload[:len(payload)-frameCRCLen]
+		want := binary.BigEndian.Uint32(payload[len(payload)-frameCRCLen:])
+		if got := crc32.Checksum(body, crcTable); got != want {
+			return nil, fmt.Errorf("cluster: frame checksum mismatch (spliced or corrupt stream): got %08x want %08x", got, want)
+		}
+		payload = body
+	}
 	start := time.Now()
 	env, err := c.decodeFrame(payload)
 	c.decodeNS.Add(time.Since(start).Nanoseconds())
@@ -435,6 +505,32 @@ func (c *frameConn) recv() (*Envelope, error) {
 		c.readBuf = nil
 	}
 	return env, err
+}
+
+// armWatchdog sets the mid-frame read deadline and returns the function
+// clearing it, or nil when the connection has no deadline support or
+// the watchdog is disabled.
+func (c *frameConn) armWatchdog() func() {
+	if c.deadliner == nil || c.readTimeout < 0 {
+		return nil
+	}
+	timeout := c.readTimeout
+	if timeout == 0 {
+		timeout = defaultFrameTimeout
+	}
+	if c.deadliner.SetReadDeadline(time.Now().Add(timeout)) != nil {
+		return nil
+	}
+	return func() { c.deadliner.SetReadDeadline(time.Time{}) }
+}
+
+// watchdogErr annotates a deadline expiry so the failure reads as what
+// it is: a frame that started and never finished.
+func (c *frameConn) watchdogErr(err error) error {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return fmt.Errorf("cluster: frame stalled mid-read (truncated or dead peer): %w", err)
+	}
+	return err
 }
 
 // decodeFrame parses one frame payload.

@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -16,7 +19,8 @@ import (
 // ones under ParallelDataSet aggregation nodes — the execution tree of
 // Figure 1. Like every dataset reference, it is soft: the worker may
 // have lost the data, in which case calls return ErrMissingDataset and
-// the root replays.
+// the root replays. The replicated cluster path (Cluster.Loader) does
+// not use it — it remains the single-connection building block.
 type RemoteDataSet struct {
 	client *Client
 	id     string
@@ -50,49 +54,134 @@ func (d *RemoteDataSet) Map(op engine.MapOp, newID string) (engine.IDataSet, err
 	return &RemoteDataSet{client: d.client, id: newID, leaves: leaves}, nil
 }
 
-// Cluster is the root's view of a set of workers.
+// Cluster is the root's view of a set of workers: a replica map from
+// partition groups to the workers serving them, per-worker health
+// state, and the failover machinery that keeps queries running while
+// at least one replica of every group survives.
 type Cluster struct {
-	clients []*Client
-	cfg     engine.Config
+	cfg  engine.Config
+	opts Options
+	tr   Transport
+
+	mu    sync.Mutex
+	slots []*slot
+	// nGroups is the number of partition groups, fixed at Connect:
+	// group counts are baked into source specs and partition IDs, so
+	// changing the group count would change results. Workers may come
+	// and go; groups do not.
+	nGroups int
+
+	stopMonitor chan struct{}
+	monitorWG   sync.WaitGroup
+
+	retries      atomic.Int64
+	specLaunches atomic.Int64
+	specWins     atomic.Int64
+	groupsLost   atomic.Int64
+	reconnects   atomic.Int64
 }
 
-// Connect dials every worker address over TCP.
+// Connect dials every worker address over TCP with default Options
+// (no replication, no background monitor).
 func Connect(addrs []string, cfg engine.Config) (*Cluster, error) {
-	return ConnectTransport(TCPTransport{}, addrs, cfg)
+	return ConnectOptions(nil, addrs, cfg, Options{})
 }
 
 // ConnectTransport dials every worker address through an explicit
 // transport; the chaos harness passes FaultTransport here to drive the
 // whole distributed path through scripted network faults.
 func ConnectTransport(tr Transport, addrs []string, cfg engine.Config) (*Cluster, error) {
-	c := &Cluster{cfg: cfg}
-	for _, addr := range addrs {
-		cl, err := DialTransport(tr, addr)
+	return ConnectOptions(tr, addrs, cfg, Options{})
+}
+
+// ConnectOptions dials every worker address (nil transport = TCP) and
+// assigns worker i to partition group i mod (len(addrs)/R), giving each
+// group R replicas. Dials run in parallel and retry transient failures
+// within the options' dial budget.
+func ConnectOptions(tr Transport, addrs []string, cfg engine.Config, opts Options) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: no worker addresses")
+	}
+	if tr == nil {
+		tr = TCPTransport{}
+	}
+	r := opts.replication()
+	nGroups := len(addrs) / r
+	if nGroups < 1 {
+		nGroups = 1
+	}
+	c := &Cluster{cfg: cfg, opts: opts, tr: tr, nGroups: nGroups}
+	slots := make([]*slot, len(addrs))
+	errs := make([]error, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			conn, err := dialRetry(tr, addr, opts.dialBudget())
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: connecting %s: %w", addr, err)
+				return
+			}
+			slots[i] = &slot{addr: addr, group: i % nGroups, cl: newClientConn(conn, addr, opts.FrameTimeout), gen: 1}
+		}(i, addr)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("cluster: connecting %s: %w", addr, err)
+			for _, s := range slots {
+				if s != nil {
+					s.cl.Close()
+				}
+			}
+			return nil, err
 		}
-		c.clients = append(c.clients, cl)
+	}
+	c.slots = slots
+	if opts.HealthInterval > 0 {
+		c.stopMonitor = make(chan struct{})
+		c.monitorWG.Add(1)
+		go c.monitor(opts.HealthInterval)
 	}
 	return c, nil
 }
 
-// Clients returns the per-worker clients.
-func (c *Cluster) Clients() []*Client { return c.clients }
-
-// Close disconnects from all workers.
-func (c *Cluster) Close() {
-	for _, cl := range c.clients {
-		if cl != nil {
-			cl.Close()
+// Clients returns the current per-worker clients in worker order
+// (a worker that is down and awaiting reconnect contributes its dead
+// client, so wire counters remain visible).
+func (c *Cluster) Clients() []*Client {
+	var out []*Client
+	for _, s := range c.snapshotSlots() {
+		s.mu.Lock()
+		if s.cl != nil {
+			out = append(out, s.cl)
 		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Close stops the health monitor and disconnects from all workers.
+func (c *Cluster) Close() {
+	if c.stopMonitor != nil {
+		close(c.stopMonitor)
+		c.monitorWG.Wait()
+		c.stopMonitor = nil
+	}
+	for _, s := range c.snapshotSlots() {
+		s.mu.Lock()
+		if s.cl != nil {
+			s.cl.Close()
+		}
+		s.down = true
+		s.mu.Unlock()
 	}
 }
 
 // BytesReceived sums bytes the root has received from all workers.
 func (c *Cluster) BytesReceived() int64 {
 	var n int64
-	for _, cl := range c.clients {
+	for _, cl := range c.Clients() {
 		n += cl.BytesReceived()
 	}
 	return n
@@ -101,7 +190,7 @@ func (c *Cluster) BytesReceived() int64 {
 // BytesSent sums bytes the root has sent to all workers.
 func (c *Cluster) BytesSent() int64 {
 	var n int64
-	for _, cl := range c.clients {
+	for _, cl := range c.Clients() {
 		n += cl.BytesSent()
 	}
 	return n
@@ -110,52 +199,53 @@ func (c *Cluster) BytesSent() int64 {
 // WireStats returns per-connection transport counters for every worker
 // connection, in Clients() order.
 func (c *Cluster) WireStats() []WireStats {
-	out := make([]WireStats, len(c.clients))
-	for i, cl := range c.clients {
+	cls := c.Clients()
+	out := make([]WireStats, len(cls))
+	for i, cl := range cls {
 		out[i] = cl.WireStats()
 	}
 	return out
 }
 
 // ExpandSource substitutes the {worker} placeholder in a source spec
-// with the worker index, so one redo-log record describes every
-// worker's shard (e.g. "dir:/data/shard-{worker}").
-func ExpandSource(source string, worker int) string {
-	return strings.ReplaceAll(source, "{worker}", strconv.Itoa(worker))
+// with the worker's partition group, so one redo-log record describes
+// every group's shard (e.g. "dir:/data/shard-{worker}"). Replicas of a
+// group expand to the identical spec — and because sources are pure
+// functions of their specs, they hold bit-identical data.
+func ExpandSource(source string, group int) string {
+	return strings.ReplaceAll(source, "{worker}", strconv.Itoa(group))
 }
 
-// Loader returns an engine.Loader that loads a source across every
-// worker (each worker gets the source with {worker} expanded) and
-// assembles the remote datasets under one aggregation node. Plugging
-// this loader into engine.NewRoot gives the full distributed root:
-// redo-logged loads, replay-on-miss, computation caching — over the
-// wire.
+// Loader returns an engine.Loader that loads a source across the
+// cluster: every worker loads its group's shard ({worker} expanded to
+// the group index), and the returned dataset fans sketches out over the
+// groups with replica failover. Plugging this loader into
+// engine.NewRoot gives the full distributed root: redo-logged loads,
+// replay-on-miss, computation caching — over the wire, surviving
+// worker loss.
 func (c *Cluster) Loader() engine.Loader {
 	return func(id, source string) (engine.IDataSet, error) {
-		children := make([]engine.IDataSet, len(c.clients))
-		errs := make([]error, len(c.clients))
-		done := make(chan int, len(c.clients))
-		for i, cl := range c.clients {
-			go func(i int, cl *Client) {
-				defer func() { done <- i }()
-				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
-				defer cancel()
-				leaves, err := cl.Load(ctx, id, ExpandSource(source, i))
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				children[i] = NewRemote(cl, id, leaves)
-			}(i, cl)
+		d := &dataset{c: c, id: id, source: source}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		if err := d.materialize(ctx); err != nil {
+			return nil, err
 		}
-		for range c.clients {
-			<-done
-		}
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-		return engine.NewParallel(id, children, c.cfg), nil
+		return d, nil
+	}
+}
+
+// failoverOptions maps cluster Options onto the engine's failover
+// knobs. Retryable failures are exactly the ones that say nothing about
+// the data: lost connections and missing (evicted) datasets — another
+// replica regenerates the identical bits.
+func (c *Cluster) failoverOptions() engine.FailoverOptions {
+	return engine.FailoverOptions{
+		Retryable: func(err error) bool {
+			return errors.Is(err, ErrWorkerLost) || errors.Is(err, engine.ErrMissingDataset)
+		},
+		SpecFactor:   c.opts.SpecFactor,
+		SpecMinDelay: c.opts.SpecMinDelay,
+		OnEvent:      c.recordEvent,
 	}
 }

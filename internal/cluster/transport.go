@@ -36,6 +36,39 @@ func (t TCPTransport) Dial(addr string) (net.Conn, error) {
 	return net.DialTimeout("tcp", addr, timeout)
 }
 
+// dialRetry dials addr through tr, retrying failures with capped
+// exponential backoff plus jitter until budget elapses (budget <= 0
+// means a single attempt). Worker startup is the motivating case: a
+// cluster booting all its processes at once should not fail the whole
+// Connect because one worker's listener came up a second late — dial
+// failures within the budget are presumed transient.
+func dialRetry(tr Transport, addr string, budget time.Duration) (net.Conn, error) {
+	conn, err := tr.Dial(addr)
+	if err == nil || budget <= 0 {
+		return conn, err
+	}
+	deadline := time.Now().Add(budget)
+	backoff := 25 * time.Millisecond
+	for {
+		sleep := backoff + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		if remaining := time.Until(deadline); sleep > remaining {
+			if remaining <= 0 {
+				return nil, err
+			}
+			sleep = remaining
+		}
+		time.Sleep(sleep)
+		if conn, rerr := tr.Dial(addr); rerr == nil {
+			return conn, nil
+		} else {
+			err = rerr
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
 // FaultScript is a deterministic per-frame fault schedule. Every frame
 // received through a fault connection draws its faults from a PCG
 // stream seeded by Seed, so a failing schedule replays exactly from the
@@ -112,6 +145,32 @@ func (t FaultTransport) Dial(addr string) (net.Conn, error) {
 	h := fnv.New64a()
 	h.Write([]byte(addr))
 	script.Seed ^= h.Sum64()
+	return NewFaultConn(conn, script), nil
+}
+
+// AddrFaultTransport injects per-address fault scripts: only the
+// listed victims' connections are wrapped, everything else passes
+// through clean. Failover schedules use it to crash or degrade chosen
+// workers while their replicas stay healthy.
+type AddrFaultTransport struct {
+	Inner   Transport
+	Scripts map[string]FaultScript
+}
+
+// Dial implements Transport.
+func (t AddrFaultTransport) Dial(addr string) (net.Conn, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = TCPTransport{}
+	}
+	conn, err := inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	script, ok := t.Scripts[addr]
+	if !ok {
+		return conn, nil
+	}
 	return NewFaultConn(conn, script), nil
 }
 

@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// sumSketch is a trivial mergeable sketch for failover tests: results
+// are ints, merge is addition.
+type sumSketch struct{}
+
+func (sumSketch) Name() string        { return "sum" }
+func (sumSketch) Zero() sketch.Result { return 0 }
+func (sumSketch) Summarize(t *table.Table) (sketch.Result, error) {
+	return t.NumRows(), nil
+}
+func (sumSketch) Merge(a, b sketch.Result) (sketch.Result, error) {
+	return a.(int) + b.(int), nil
+}
+
+// fakeReplica scripts one replica's behavior.
+type fakeReplica struct {
+	name    string
+	healthy bool
+	calls   atomic.Int32
+	run     func(ctx context.Context, onPartial PartialFunc) (sketch.Result, error)
+}
+
+func (r *fakeReplica) Name() string  { return r.name }
+func (r *fakeReplica) Healthy() bool { return r.healthy }
+func (r *fakeReplica) Sketch(ctx context.Context, _ sketch.Sketch, onPartial PartialFunc) (sketch.Result, error) {
+	r.calls.Add(1)
+	return r.run(ctx, onPartial)
+}
+
+// ok returns a replica that immediately succeeds with value v.
+func ok(name string, v int) *fakeReplica {
+	return &fakeReplica{name: name, healthy: true, run: func(context.Context, PartialFunc) (sketch.Result, error) {
+		return v, nil
+	}}
+}
+
+var errConn = errors.New("fake connection lost")
+
+// dead returns a replica that fails with a retryable connection error.
+func dead(name string) *fakeReplica {
+	return &fakeReplica{name: name, healthy: true, run: func(context.Context, PartialFunc) (sketch.Result, error) {
+		return nil, errConn
+	}}
+}
+
+func group(g, of, leaves int, rs ...Replica) ReplicaGroup {
+	return ReplicaGroup{
+		Range:    PartitionRange{Group: g, Of: of, Leaves: leaves},
+		Replicas: func() []Replica { return rs },
+	}
+}
+
+func retryConn(err error) bool { return errors.Is(err, errConn) }
+
+func TestFailoverRetriesOnSurvivingReplica(t *testing.T) {
+	var events []FailoverEvent
+	groups := []ReplicaGroup{
+		group(0, 2, 2, dead("w0"), ok("w2", 10)),
+		group(1, 2, 2, ok("w1", 5)),
+	}
+	res, err := SketchReplicated(context.Background(), sumSketch{}, nil, groups,
+		Config{AggregationWindow: -1},
+		FailoverOptions{Retryable: retryConn, OnEvent: func(e FailoverEvent) { events = append(events, e) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(int) != 15 {
+		t.Fatalf("result = %v, want 15", res)
+	}
+	found := false
+	for _, e := range events {
+		if e.Kind == EventFailover && e.Replica == "w2" && errors.Is(e.Err, errConn) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no failover event recorded: %+v", events)
+	}
+}
+
+func TestFailoverAllReplicasLostIsCleanError(t *testing.T) {
+	groups := []ReplicaGroup{
+		group(0, 2, 2, dead("w0"), dead("w2")),
+		group(1, 2, 2, ok("w1", 5)),
+	}
+	_, err := SketchReplicated(context.Background(), sumSketch{}, nil, groups,
+		Config{AggregationWindow: -1}, FailoverOptions{Retryable: retryConn})
+	if err == nil {
+		t.Fatal("total replica loss must error")
+	}
+	if !errors.Is(err, errConn) {
+		t.Fatalf("error should wrap the last failure: %v", err)
+	}
+}
+
+func TestFailoverNonRetryableFailsFast(t *testing.T) {
+	semantic := errors.New("no such column")
+	second := ok("w2", 10)
+	groups := []ReplicaGroup{
+		group(0, 1, 2, &fakeReplica{name: "w0", healthy: true,
+			run: func(context.Context, PartialFunc) (sketch.Result, error) { return nil, semantic }},
+			second),
+	}
+	_, err := SketchReplicated(context.Background(), sumSketch{}, nil, groups,
+		Config{AggregationWindow: -1}, FailoverOptions{Retryable: retryConn})
+	if !errors.Is(err, semantic) {
+		t.Fatalf("err = %v, want the semantic error", err)
+	}
+	if second.calls.Load() != 0 {
+		t.Error("deterministic error must not be retried on another replica")
+	}
+}
+
+func TestFailoverUnhealthyReplicaTriedLast(t *testing.T) {
+	primary := ok("up", 7)
+	down := dead("down")
+	down.healthy = false
+	groups := []ReplicaGroup{group(0, 1, 1, down, primary)}
+	res, err := SketchReplicated(context.Background(), sumSketch{}, nil, groups,
+		Config{AggregationWindow: -1}, FailoverOptions{Retryable: retryConn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(int) != 7 {
+		t.Fatalf("result = %v", res)
+	}
+	if down.calls.Load() != 0 {
+		t.Error("healthy replica available, but the unhealthy one was tried first")
+	}
+}
+
+func TestFailoverSpeculationWinsOverStraggler(t *testing.T) {
+	release := make(chan struct{})
+	straggler := &fakeReplica{name: "slow", healthy: true, run: func(ctx context.Context, _ PartialFunc) (sketch.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return 10, nil
+	}}
+	defer close(release)
+	backup := ok("fast-backup", 10)
+	groups := []ReplicaGroup{
+		group(0, 2, 2, straggler, backup),
+		group(1, 2, 2, ok("w1", 5)),
+	}
+	var specLaunches, specWins atomic.Int32
+	res, err := SketchReplicated(context.Background(), sumSketch{}, nil, groups,
+		Config{AggregationWindow: -1},
+		FailoverOptions{
+			Retryable:    retryConn,
+			SpecFactor:   2,
+			SpecMinDelay: 10 * time.Millisecond,
+			OnEvent: func(e FailoverEvent) {
+				switch e.Kind {
+				case EventSpeculate:
+					specLaunches.Add(1)
+				case EventSpecWin:
+					specWins.Add(1)
+				}
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(int) != 15 {
+		t.Fatalf("result = %v, want 15", res)
+	}
+	if specLaunches.Load() == 0 || specWins.Load() == 0 {
+		t.Fatalf("speculation did not engage: launches=%d wins=%d", specLaunches.Load(), specWins.Load())
+	}
+}
+
+// TestFailoverDedupAcrossCompetingAttempts drives two attempts whose
+// partial streams interleave and checks the merged stream stays
+// monotone and the final result counts the range exactly once.
+func TestFailoverDedupAcrossCompetingAttempts(t *testing.T) {
+	started := make(chan struct{})
+	straggler := &fakeReplica{name: "slow", healthy: true, run: func(ctx context.Context, onPartial PartialFunc) (sketch.Result, error) {
+		if onPartial != nil {
+			onPartial(Partial{Result: 3, Done: 1, Total: 2})
+		}
+		close(started)
+		<-ctx.Done() // cancelled once the backup wins
+		return nil, ctx.Err()
+	}}
+	backup := &fakeReplica{name: "backup", healthy: true, run: func(ctx context.Context, onPartial PartialFunc) (sketch.Result, error) {
+		<-started
+		if onPartial != nil {
+			onPartial(Partial{Result: 3, Done: 1, Total: 2})
+			onPartial(Partial{Result: 10, Done: 2, Total: 2})
+		}
+		return 10, nil
+	}}
+	groups := []ReplicaGroup{group(0, 1, 2, straggler, backup)}
+	var prev atomic.Int32
+	prev.Store(-1)
+	res, err := SketchReplicated(context.Background(), sumSketch{}, func(p Partial) {
+		if int32(p.Done) < prev.Load() {
+			t.Errorf("Done regressed: %d after %d", p.Done, prev.Load())
+		}
+		prev.Store(int32(p.Done))
+	}, groups, Config{AggregationWindow: 1},
+		FailoverOptions{Retryable: retryConn, SpecFactor: 4, SpecMinDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(int) != 10 {
+		t.Fatalf("result = %v, want 10 (range counted once)", res)
+	}
+}
+
+func TestFailoverContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	groups := []ReplicaGroup{
+		group(0, 1, 1, &fakeReplica{name: "hang", healthy: true, run: func(ctx context.Context, _ PartialFunc) (sketch.Result, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}}),
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := SketchReplicated(ctx, sumSketch{}, nil, groups, Config{AggregationWindow: -1}, FailoverOptions{})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not unblock the replicated sketch")
+	}
+}
+
+func TestFailoverMatchesParallelFoldOrder(t *testing.T) {
+	// The replicated fold must be bit-identical to ParallelDataSet's:
+	// same group count, same per-group results, same fold order. Use a
+	// merge-order-sensitive encoding (string concatenation).
+	groups := []ReplicaGroup{}
+	for g := 0; g < 4; g++ {
+		groups = append(groups, group(g, 4, 1, ok(fmt.Sprintf("w%d", g), 1<<g)))
+	}
+	res, err := SketchReplicated(context.Background(), sumSketch{}, nil, groups,
+		Config{AggregationWindow: -1}, FailoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(int) != 15 {
+		t.Fatalf("result = %v, want 15", res)
+	}
+}

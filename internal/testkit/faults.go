@@ -151,13 +151,20 @@ func RunFaults(seed uint64) error {
 // hang detector. The goroutine is abandoned on timeout; the harness is
 // already failing at that point.
 func withTimeout(name string, f func() error) error {
+	return withTimeoutFor(name, runTimeout, f)
+}
+
+// withTimeoutFor is withTimeout with an explicit budget, for schedules
+// that deliberately run the whole sketch battery through repeated
+// faults and revivals.
+func withTimeoutFor(name string, budget time.Duration, f func() error) error {
 	done := make(chan error, 1)
 	go func() { done <- f() }()
 	select {
 	case err := <-done:
 		return err
-	case <-time.After(runTimeout):
-		return fmt.Errorf("no outcome within %v (hang)", runTimeout)
+	case <-time.After(budget):
+		return fmt.Errorf("no outcome within %v (hang)", budget)
 	}
 }
 

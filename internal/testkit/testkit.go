@@ -66,6 +66,7 @@ const runTimeout = 30 * time.Second
 type clusterHandle struct {
 	cluster *cluster.Cluster
 	workers []*cluster.Worker
+	addrs   []string
 	root    *engine.Root
 }
 
@@ -76,6 +77,14 @@ type clusterHandle struct {
 // accept-time hooks like SetConnWrapper must be installed before the
 // root dials, or they never see the root's connection.
 func startCluster(n int, cfg engine.Config, tr cluster.Transport, prep func(*cluster.Worker)) (*clusterHandle, error) {
+	return startClusterOpts(n, cfg, func([]string) cluster.Transport { return tr }, prep, cluster.Options{})
+}
+
+// startClusterOpts is startCluster with explicit cluster options and a
+// transport constructor that sees the workers' bound addresses — the
+// failover battery builds per-victim fault scripts from them.
+func startClusterOpts(n int, cfg engine.Config, trFor func(addrs []string) cluster.Transport,
+	prep func(*cluster.Worker), opts cluster.Options) (*clusterHandle, error) {
 	h := &clusterHandle{}
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -91,15 +100,12 @@ func startCluster(n int, cfg engine.Config, tr cluster.Transport, prep func(*clu
 		h.workers = append(h.workers, w)
 		addrs[i] = addr
 	}
-	var (
-		c   *cluster.Cluster
-		err error
-	)
-	if tr == nil {
-		c, err = cluster.Connect(addrs, cfg)
-	} else {
-		c, err = cluster.ConnectTransport(tr, addrs, cfg)
+	h.addrs = addrs
+	var tr cluster.Transport
+	if trFor != nil {
+		tr = trFor(addrs)
 	}
+	c, err := cluster.ConnectOptions(tr, addrs, cfg, opts)
 	if err != nil {
 		h.close()
 		return nil, err
@@ -119,10 +125,11 @@ func (h *clusterHandle) close() {
 }
 
 // genSource renders the testgen source spec that regenerates the run's
-// partitions on each worker ({worker} expands per worker index).
-func genSource(prefix string, seed uint64, rows, parts, workers int) string {
+// partitions on each worker ({worker} expands to the worker's partition
+// group, so replicas of a group regenerate bit-identical shards).
+func genSource(prefix string, seed uint64, rows, parts, groups int) string {
 	return fmt.Sprintf("testgen:prefix=%s,seed=%d,rows=%d,parts=%d,of=%d,worker={worker}",
-		prefix, seed, rows, parts, workers)
+		prefix, seed, rows, parts, groups)
 }
 
 // reference computes topology 1: per-partition Summarize folded

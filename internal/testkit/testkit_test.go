@@ -19,10 +19,11 @@ import (
 // so every CI run explores a fresh seed window while any failure names
 // the exact seed to replay locally.
 var (
-	seedsFlag  = flag.Int("testkit.seeds", 4, "number of three-way oracle seeds to run")
-	faultsFlag = flag.Int("testkit.faultseeds", 2, "number of fault-battery seeds to run")
-	pooledFlag = flag.Int("testkit.pooledseeds", 2, "number of pooled column-store seeds to run")
-	baseFlag   = flag.Uint64("testkit.base", 1, "first seed of the window")
+	seedsFlag    = flag.Int("testkit.seeds", 4, "number of three-way oracle seeds to run")
+	faultsFlag   = flag.Int("testkit.faultseeds", 2, "number of fault-battery seeds to run")
+	pooledFlag   = flag.Int("testkit.pooledseeds", 2, "number of pooled column-store seeds to run")
+	failoverFlag = flag.Int("testkit.failoverseeds", 1, "number of replicated-failover battery seeds to run")
+	baseFlag     = flag.Uint64("testkit.base", 1, "first seed of the window")
 )
 
 // TestOracleSeeds runs the three-way differential oracle across the
@@ -45,6 +46,19 @@ func TestFaultSchedules(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			if err := RunFaults(seed); err != nil {
 				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestFaultSchedules/seed=%d$' -testkit.base=%d -testkit.faultseeds=1", err, seed, seed)
+			}
+		})
+	}
+}
+
+// TestFailoverSchedules runs the replicated-failover battery — the
+// flipped fault contract — across its seed window.
+func TestFailoverSchedules(t *testing.T) {
+	for i := 0; i < *failoverFlag; i++ {
+		seed := *baseFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			if err := RunFailover(seed); err != nil {
+				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestFailoverSchedules/seed=%d$' -testkit.base=%d -testkit.failoverseeds=1", err, seed, seed)
 			}
 		})
 	}
