@@ -106,7 +106,7 @@ func BenchmarkFig6Cold(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer env.Close()
-	view, err := env.Sheet.Load("cold", src)
+	view, err := env.Sheet.Load(context.Background(), "cold", src)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func BenchmarkFig8Servers(b *testing.B) {
 		}
 		name := fmt.Sprintf("b8-%d", servers)
 		src := fmt.Sprintf("flights:rows=100000,parts=8,cols=20,seed=%d00{worker}", p.Seed)
-		if _, err := env.Sheet.Load(name, src); err != nil {
+		if _, err := env.Sheet.Load(context.Background(), name, src); err != nil {
 			env.Close()
 			b.Fatal(err)
 		}
@@ -497,7 +497,7 @@ func BenchmarkKernelParallelAgg(b *testing.B) {
 func BenchmarkFig11Case(b *testing.B) {
 	root := engine.NewRoot(storage.NewLoader(engine.Config{AggregationWindow: -1}, 0))
 	sheet := spreadsheet.New(root)
-	view, err := sheet.Load("fl", "flights:rows=50000,parts=4,seed=7")
+	view, err := sheet.Load(context.Background(), "fl", "flights:rows=50000,parts=4,seed=7")
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -135,7 +136,7 @@ func main() {
 	run("fig11", func() error {
 		root := engine.NewRoot(storage.NewLoader(engine.Config{AggregationWindow: -1}, 0))
 		sheet := spreadsheet.New(root)
-		view, err := sheet.Load("flights-1x",
+		view, err := sheet.Load(context.Background(), "flights-1x",
 			fmt.Sprintf("flights:rows=%d,parts=8,cols=%d,seed=%d", p.BaseRows, p.Cols, p.Seed))
 		if err != nil {
 			return err

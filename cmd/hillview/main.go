@@ -17,12 +17,41 @@
 //	/api/heatmap?view=fl&x=DepDelay&y=ArrDelay        heat map summary
 //	/api/heavyhitters?view=fl&col=Origin&k=20         heavy hitters
 //	/api/filter?view=fl&name=ua&expr=Carrier=="UA"    derive a view
-//	/api/status                                       cache, pool, wire + cluster-health stats
+//	/api/status                                       cache, pool, wire, cluster + scheduler stats
 //	/api/svg/histogram?view=fl&col=DepDelay           rendered SVG
+//
+// # Overload safety
+//
+// Every query runs through the serving-layer scheduler (internal/serve)
+// rather than hitting the engine directly. Admission control holds at
+// most -max-inflight queries executing with -queue-depth more waiting;
+// a query arriving past both is rejected immediately. Each query gets
+// the -query-deadline server deadline (callers with a tighter deadline
+// keep theirs), identical concurrent cacheable queries share one
+// execution, a panic anywhere in a query or render path becomes a 500
+// for that request only, and client disconnects cancel the query via
+// http.Request.Context — mid-scan, at the leaf.
+//
+// The error contract handlers return:
+//
+//	429 Too Many Requests   shed at admission (Retry-After is set)
+//	503 Service Unavailable deadline expired while queued (Retry-After is set)
+//	504 Gateway Timeout     deadline expired while executing
+//	413 Content Too Large   requested page exceeds the result-row budget
+//	500 Internal Server Error  recovered panic (that query only)
+//	404 Not Found           view evicted by the derived-view cap (-max-views)
+//	400 Bad Request         semantic errors: unknown view, bad column, bad expr
+//
+// Derived views (filters, zooms) are soft state: at most -max-views of
+// them are kept, evicted least-recently-used; an evicted view's dataset
+// is dropped from the engine registry and later requests for it get a
+// 404 naming the eviction, after which the client re-derives it.
 package main
 
 import (
+	"container/list"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -37,19 +66,23 @@ import (
 	"repro/internal/engine"
 	"repro/internal/flights"
 	"repro/internal/render"
+	"repro/internal/serve"
 	"repro/internal/sketch"
 	"repro/internal/spreadsheet"
 	"repro/internal/storage"
 	"repro/internal/table"
 )
 
+// DefaultMaxViews caps derived views kept per server (-max-views).
+const DefaultMaxViews = 64
+
 type server struct {
 	sheet  *spreadsheet.Sheet
+	sched  *serve.Scheduler
 	pool   *colstore.Pool     // nil in cluster mode (pools live on workers)
 	dcache *storage.DataCache // nil in cluster mode
 	clu    *cluster.Cluster   // nil in in-process mode
-	mu     sync.Mutex
-	views  map[string]*spreadsheet.View
+	views  *viewRegistry
 }
 
 func main() {
@@ -59,6 +92,11 @@ func main() {
 	budget := flag.String("pool-budget", "", "column pool byte budget for in-process mode, e.g. 256M (default $HILLVIEW_POOL_BUDGET; 0 = unlimited)")
 	replication := flag.Int("replication", 1, "replicas per partition group (workers are split into len(workers)/R groups)")
 	healthEvery := flag.Duration("health-interval", 2*time.Second, "worker ping interval; 0 disables the health monitor")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 2×GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", serve.DefaultQueueDepth, "queries allowed to wait for a slot before shedding (negative = no queue)")
+	queryDeadline := flag.Duration("query-deadline", serve.DefaultDeadline, "server-side query deadline (negative = none)")
+	maxResultRows := flag.Int("max-result-rows", serve.DefaultMaxResultRows, "per-query result-row budget for tabular pages (negative = unlimited)")
+	maxViews := flag.Int("max-views", DefaultMaxViews, "derived views kept before LRU eviction (0 = unlimited)")
 	flag.Parse()
 
 	flights.Register()
@@ -98,41 +136,160 @@ func main() {
 		log.Printf("hillview: connected to %d workers (%d groups × %d replicas)",
 			len(addrs), st.Groups, st.Replication)
 	}
-	s := &server{
-		sheet:  spreadsheet.New(engine.NewRoot(loader)),
-		pool:   pool,
-		dcache: dcache,
-		clu:    clu,
-		views:  make(map[string]*spreadsheet.View),
-	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/api/load", s.handleLoad)
-	mux.HandleFunc("/api/meta", s.handleMeta)
-	mux.HandleFunc("/api/table", s.handleTable)
-	mux.HandleFunc("/api/histogram", s.handleHistogram)
-	mux.HandleFunc("/api/heatmap", s.handleHeatmap)
-	mux.HandleFunc("/api/heavyhitters", s.handleHeavyHitters)
-	mux.HandleFunc("/api/filter", s.handleFilter)
-	mux.HandleFunc("/api/status", s.handleStatus)
-	mux.HandleFunc("/api/svg/histogram", s.handleHistogramSVG)
+	s := newServer(engine.NewRoot(loader), serve.Config{
+		MaxInFlight:   *maxInFlight,
+		QueueDepth:    *queueDepth,
+		Deadline:      *queryDeadline,
+		MaxResultRows: *maxResultRows,
+	}, *maxViews)
+	s.pool, s.dcache, s.clu = pool, dcache, clu
+	sc := s.sched.Config()
+	log.Printf("hillview: admission %d in-flight + %d queued, deadline %v, view cap %d",
+		sc.MaxInFlight, sc.QueueDepth, sc.Deadline, *maxViews)
 	log.Printf("hillview: listening on %s", *httpAddr)
-	log.Fatal(http.ListenAndServe(*httpAddr, mux))
+	log.Fatal(http.ListenAndServe(*httpAddr, s.mux()))
 }
+
+// newServer wires the scheduler between the spreadsheet and the root:
+// every vizketch the sheet runs goes through admission control.
+func newServer(root *engine.Root, cfg serve.Config, maxViews int) *server {
+	sched := serve.New(root, cfg)
+	return &server{
+		sheet: spreadsheet.NewWithRunner(root, sched),
+		sched: sched,
+		views: newViewRegistry(maxViews, root.Drop),
+	}
+}
+
+// mux registers the handlers, each wrapped so a panic in the handler
+// body (render bugs included) becomes that request's 500.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/load", s.sched.Recovered(s.handleLoad))
+	mux.HandleFunc("/api/meta", s.sched.Recovered(s.handleMeta))
+	mux.HandleFunc("/api/table", s.sched.Recovered(s.handleTable))
+	mux.HandleFunc("/api/histogram", s.sched.Recovered(s.handleHistogram))
+	mux.HandleFunc("/api/heatmap", s.sched.Recovered(s.handleHeatmap))
+	mux.HandleFunc("/api/heavyhitters", s.sched.Recovered(s.handleHeavyHitters))
+	mux.HandleFunc("/api/filter", s.sched.Recovered(s.handleFilter))
+	mux.HandleFunc("/api/status", s.sched.Recovered(s.handleStatus))
+	mux.HandleFunc("/api/svg/histogram", s.sched.Recovered(s.handleHistogramSVG))
+	return mux
+}
+
+// --- View registry with a derived-view cap ---
+
+// evictedError reports a request for a derived view the cap pushed out.
+type evictedError struct{ name string }
+
+func (e *evictedError) Error() string {
+	return fmt.Sprintf("view %q was evicted (derived-view cap); re-derive it", e.name)
+}
+
+// viewRegistry holds the server's views. Loaded root views are pinned;
+// derived views (filters, zooms) are capped and evicted LRU. Eviction
+// drops the dataset from the engine registry too — the redo log can
+// rebuild it, the registry just stops holding it live.
+type viewRegistry struct {
+	mu      sync.Mutex
+	cap     int
+	loaded  map[string]*spreadsheet.View
+	derived map[string]*list.Element // value: *derivedEntry
+	lru     *list.List               // front = most recently used
+	evicted map[string]bool
+	drop    func(id string)
+}
+
+type derivedEntry struct {
+	name string
+	view *spreadsheet.View
+}
+
+func newViewRegistry(cap int, drop func(id string)) *viewRegistry {
+	return &viewRegistry{
+		cap:     cap,
+		loaded:  make(map[string]*spreadsheet.View),
+		derived: make(map[string]*list.Element),
+		lru:     list.New(),
+		evicted: make(map[string]bool),
+		drop:    drop,
+	}
+}
+
+func (vr *viewRegistry) get(name string) (*spreadsheet.View, error) {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	if v, ok := vr.loaded[name]; ok {
+		return v, nil
+	}
+	if el, ok := vr.derived[name]; ok {
+		vr.lru.MoveToFront(el)
+		return el.Value.(*derivedEntry).view, nil
+	}
+	if vr.evicted[name] {
+		return nil, &evictedError{name: name}
+	}
+	return nil, fmt.Errorf("no view %q (load it first)", name)
+}
+
+func (vr *viewRegistry) putLoaded(name string, v *spreadsheet.View) {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	vr.loaded[name] = v
+	delete(vr.evicted, name)
+}
+
+func (vr *viewRegistry) putDerived(name string, v *spreadsheet.View) {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	delete(vr.evicted, name)
+	if el, ok := vr.derived[name]; ok {
+		el.Value.(*derivedEntry).view = v
+		vr.lru.MoveToFront(el)
+		return
+	}
+	vr.derived[name] = vr.lru.PushFront(&derivedEntry{name: name, view: v})
+	for vr.cap > 0 && vr.lru.Len() > vr.cap {
+		last := vr.lru.Back()
+		e := last.Value.(*derivedEntry)
+		vr.lru.Remove(last)
+		delete(vr.derived, e.name)
+		vr.evicted[e.name] = true
+		if vr.drop != nil {
+			vr.drop(e.view.ID())
+		}
+	}
+}
+
+func (vr *viewRegistry) counts() (loaded, derived, evicted int) {
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	return len(vr.loaded), len(vr.derived), len(vr.evicted)
+}
+
+// --- Handlers ---
 
 // handleStatus reports the soft-state caches: the computation cache
 // (engine.Cache), the raw-data cache (storage.DataCache), and — in
 // in-process mode — the column pool's resident/budget/eviction
 // counters. In cluster mode it adds per-connection wire counters and
 // the replication/failover telemetry (worker health, retry and
-// speculation counts) from cluster.Stats.
+// speculation counts) from cluster.Stats. The "serve" section is the
+// scheduler: admission gauges and the shed/deadline/panic/dedup
+// counters of the overload contract.
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	root := s.sheet.Root()
 	hits, misses := root.Cache().Stats()
+	loaded, derived, evicted := s.views.counts()
 	out := map[string]any{
 		"computationCache": map[string]any{
 			"hits": hits, "misses": misses, "entries": root.Cache().Len(),
 		},
 		"replays": root.Replays(),
+		"serve":   s.sched.Stats(),
+		"views": map[string]any{
+			"loaded": loaded, "derived": derived, "evicted": evicted,
+		},
 	}
 	if s.dcache != nil {
 		dh, dm, dp := s.dcache.Stats()
@@ -182,20 +339,7 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) view(r *http.Request) (*spreadsheet.View, error) {
-	name := r.URL.Query().Get("view")
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.views[name]
-	if !ok {
-		return nil, fmt.Errorf("no view %q (load it first)", name)
-	}
-	return v, nil
-}
-
-func (s *server) putView(name string, v *spreadsheet.View) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.views[name] = v
+	return s.views.get(r.URL.Query().Get("view"))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -205,30 +349,37 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, err error) {
-	http.Error(w, err.Error(), http.StatusBadRequest)
+// httpError writes err per the serving-layer contract (doc comment at
+// the top of this file), with the view-eviction 404 layered on top.
+func (s *server) httpError(w http.ResponseWriter, err error) {
+	var ev *evictedError
+	if errors.As(err, &ev) {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s.sched.WriteError(w, err)
 }
 
 func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	name, source := q.Get("name"), q.Get("source")
 	if name == "" || source == "" {
-		httpError(w, fmt.Errorf("need name and source"))
+		s.httpError(w, fmt.Errorf("need name and source"))
 		return
 	}
-	v, err := s.sheet.Load(name, source)
+	v, err := s.sheet.Load(r.Context(), name, source)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
-	s.putView(name, v)
+	s.views.putLoaded(name, v)
 	writeJSON(w, map[string]any{"view": name, "rows": v.NumRows(), "columns": v.Schema().NumColumns()})
 }
 
 func (s *server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	v, err := s.view(r)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	writeJSON(w, map[string]any{"rows": v.NumRows(), "schema": v.Schema().Columns})
@@ -259,13 +410,13 @@ func parseOrder(spec string) (table.RecordOrder, error) {
 func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	v, err := s.view(r)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	q := r.URL.Query()
 	order, err := parseOrder(q.Get("order"))
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	k, _ := strconv.Atoi(q.Get("k"))
@@ -275,7 +426,7 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 	}
 	list, err := v.TableView(r.Context(), order, extra, k, nil, nil)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	rows := make([][]string, len(list.Rows))
@@ -294,11 +445,12 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 // handleHistogram streams progressive NDJSON: one line per partial
 // result, then a final line — the browser renders each as it arrives
 // (paper §5.3's progressive visualization over the stdlib equivalent of
-// a WebSocket).
+// a WebSocket). The request context cancels the underlying scan when
+// the client disconnects mid-stream.
 func (s *server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 	v, err := s.view(r)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	q := r.URL.Query()
@@ -327,7 +479,7 @@ func (s *server) handleHistogram(w http.ResponseWriter, r *http.Request) {
 		},
 	})
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	mu.Lock()
@@ -349,13 +501,13 @@ func cdfOrNil(h *sketch.Histogram) []float64 {
 func (s *server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	v, err := s.view(r)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	q := r.URL.Query()
 	hm, err := v.Heatmap(r.Context(), q.Get("x"), q.Get("y"), spreadsheet.ChartOptions{})
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -366,7 +518,7 @@ func (s *server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleHeavyHitters(w http.ResponseWriter, r *http.Request) {
 	v, err := s.view(r)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	q := r.URL.Query()
@@ -376,7 +528,7 @@ func (s *server) handleHeavyHitters(w http.ResponseWriter, r *http.Request) {
 	}
 	items, err := v.HeavyHitters(r.Context(), q.Get("col"), k, q.Get("sampled") == "1")
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	type item struct {
@@ -393,34 +545,34 @@ func (s *server) handleHeavyHitters(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleFilter(w http.ResponseWriter, r *http.Request) {
 	v, err := s.view(r)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	q := r.URL.Query()
 	name, expr := q.Get("name"), q.Get("expr")
 	if name == "" || expr == "" {
-		httpError(w, fmt.Errorf("need name and expr"))
+		s.httpError(w, fmt.Errorf("need name and expr"))
 		return
 	}
-	nv, err := v.FilterExpr(expr)
+	nv, err := v.FilterExpr(r.Context(), expr)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
-	s.putView(name, nv)
+	s.views.putDerived(name, nv)
 	writeJSON(w, map[string]any{"view": name, "rows": nv.NumRows()})
 }
 
 func (s *server) handleHistogramSVG(w http.ResponseWriter, r *http.Request) {
 	v, err := s.view(r)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	q := r.URL.Query()
 	hv, err := v.Histogram(r.Context(), q.Get("col"), spreadsheet.ChartOptions{WithCDF: q.Get("cdf") == "1"})
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")

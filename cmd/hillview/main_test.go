@@ -11,23 +11,26 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/engine"
 	"repro/internal/flights"
-	"repro/internal/spreadsheet"
+	"repro/internal/serve"
 	"repro/internal/storage"
 )
 
 func testServer(t *testing.T) *server {
+	return testServerViews(t, 0)
+}
+
+// testServerViews builds an in-process server with the given derived-
+// view cap (0 = unlimited).
+func testServerViews(t *testing.T, maxViews int) *server {
 	t.Helper()
 	flights.Register()
 	pool := colstore.NewPool(0)
 	dcache := storage.NewDataCache(0)
 	loader := storage.NewLoaderWith(engine.Config{AggregationWindow: -1},
 		storage.LoaderOpts{Pool: pool, Cache: dcache})
-	return &server{
-		sheet:  spreadsheet.New(engine.NewRoot(loader)),
-		pool:   pool,
-		dcache: dcache,
-		views:  make(map[string]*spreadsheet.View),
-	}
+	s := newServer(engine.NewRoot(loader), serve.Config{Deadline: -1}, maxViews)
+	s.pool, s.dcache = pool, dcache
+	return s
 }
 
 func get(t *testing.T, h http.HandlerFunc, url string) (*httptest.ResponseRecorder, map[string]any) {
@@ -126,11 +129,8 @@ func TestStatusEndpointClusterWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer clu.Close()
-	s := &server{
-		sheet: spreadsheet.New(engine.NewRoot(clu.Loader())),
-		clu:   clu,
-		views: make(map[string]*spreadsheet.View),
-	}
+	s := newServer(engine.NewRoot(clu.Loader()), serve.Config{Deadline: -1}, 0)
+	s.clu = clu
 	if rec, _ := get(t, s.handleLoad, "/api/load?name=fl&source=flights:rows=2000,parts=2,seed=1"); rec.Code != http.StatusOK {
 		t.Fatalf("load: %d %s", rec.Code, rec.Body.String())
 	}
@@ -240,5 +240,100 @@ func TestHeatmapEndpoint(t *testing.T) {
 	rec, _ = get(t, s.handleHeatmap, "/api/heatmap?view=fl&x=NoCol&y=ArrDelay")
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("bad column: %d", rec.Code)
+	}
+}
+
+// TestStatusServeSection pins the JSON shape of the scheduler telemetry
+// under "serve": the admission gauges and overload counters handlers
+// and dashboards rely on.
+func TestStatusServeSection(t *testing.T) {
+	s := testServer(t)
+	get(t, s.handleLoad, "/api/load?name=fl&source=flights:rows=2000,parts=2,seed=1")
+	get(t, s.handleMeta, "/api/meta?view=fl")
+	rec, body := get(t, s.handleStatus, "/api/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status: %d %s", rec.Code, rec.Body.String())
+	}
+	sv, ok := body["serve"].(map[string]any)
+	if !ok {
+		t.Fatalf("serve section missing: %v", body)
+	}
+	for _, key := range []string{
+		"in_flight", "queued", "admitted", "shed", "queue_timeouts",
+		"deadline_exceeded", "cancelled", "panics_recovered", "dedup_joins", "execs",
+	} {
+		if _, ok := sv[key]; !ok {
+			t.Errorf("serve section missing %q: %v", key, sv)
+		}
+	}
+	if sv["admitted"].(float64) == 0 {
+		t.Errorf("no queries admitted: %v", sv)
+	}
+	views, ok := body["views"].(map[string]any)
+	if !ok || views["loaded"].(float64) != 1 {
+		t.Errorf("views section = %v", body["views"])
+	}
+}
+
+// TestDerivedViewEviction pins the derived-view cap: past -max-views,
+// the least-recently-used derived view is evicted, requests for it get
+// a 404 naming the eviction, and loaded root views are never evicted.
+func TestDerivedViewEviction(t *testing.T) {
+	s := testServerViews(t, 2)
+	get(t, s.handleLoad, "/api/load?name=fl&source=flights:rows=5000,parts=2,seed=6")
+	for _, f := range []string{"a", "b"} {
+		rec, _ := get(t, s.handleFilter, `/api/filter?view=fl&name=`+f+`&expr=Carrier=="UA"`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("filter %s: %d %s", f, rec.Code, rec.Body.String())
+		}
+	}
+	// Touch "a" so "b" is the LRU victim of the next derivation.
+	if rec, _ := get(t, s.handleMeta, "/api/meta?view=a"); rec.Code != http.StatusOK {
+		t.Fatalf("meta a: %d", rec.Code)
+	}
+	if rec, _ := get(t, s.handleFilter, `/api/filter?view=fl&name=c&expr=Carrier=="AA"`); rec.Code != http.StatusOK {
+		t.Fatal("filter c failed")
+	}
+	rec, _ := get(t, s.handleMeta, "/api/meta?view=b")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("evicted view: %d, want 404", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "evicted") {
+		t.Errorf("404 body does not name the eviction: %q", rec.Body.String())
+	}
+	for _, name := range []string{"fl", "a", "c"} {
+		if rec, _ := get(t, s.handleMeta, "/api/meta?view="+name); rec.Code != http.StatusOK {
+			t.Errorf("view %s: %d, want 200", name, rec.Code)
+		}
+	}
+	// Unknown views stay 400 — eviction is the only 404.
+	if rec, _ := get(t, s.handleMeta, "/api/meta?view=nope"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown view: %d, want 400", rec.Code)
+	}
+	// Re-deriving an evicted name resurrects it.
+	if rec, _ := get(t, s.handleFilter, `/api/filter?view=fl&name=b&expr=Carrier=="UA"`); rec.Code != http.StatusOK {
+		t.Fatal("re-derive b failed")
+	}
+	if rec, _ := get(t, s.handleMeta, "/api/meta?view=b"); rec.Code != http.StatusOK {
+		t.Errorf("re-derived view b: %d", rec.Code)
+	}
+}
+
+// TestHandlerPanicBecomes500 pins the render-path isolation: a panic in
+// a handler becomes that request's 500 through the Recovered middleware
+// and is counted in the scheduler stats.
+func TestHandlerPanicBecomes500(t *testing.T) {
+	s := testServer(t)
+	h := s.sched.Recovered(func(w http.ResponseWriter, r *http.Request) {
+		panic("render bug")
+	})
+	req := httptest.NewRequest("GET", "/api/meta?view=x", nil)
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+	if s.sched.Stats().PanicsRecovered != 1 {
+		t.Error("panic not counted")
 	}
 }

@@ -50,7 +50,7 @@ func main() {
 	sheet := spreadsheet.New(engine.NewRoot(c.Loader()))
 	// {worker} expands per worker: each generates (in production: reads)
 	// its own shard.
-	view, err := sheet.Load("flights", "flights:rows=400000,parts=16,seed=90{worker}")
+	view, err := sheet.Load(context.Background(), "flights", "flights:rows=400000,parts=16,seed=90{worker}")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func main() {
 	fmt.Println(render.HistogramASCII(hv.Hist, 60, 10))
 
 	// Derive a filtered view — the map op runs on every worker.
-	west, err := view.FilterExpr(`OriginState == "CA" || OriginState == "WA" || OriginState == "OR"`)
+	west, err := view.FilterExpr(context.Background(), `OriginState == "CA" || OriginState == "WA" || OriginState == "OR"`)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,7 +27,7 @@ func main() {
 
 	root := engine.NewRoot(storage.NewLoader(engine.Config{}, 0))
 	sheet := spreadsheet.New(root)
-	view, err := sheet.Load("flights", fmt.Sprintf("flights:rows=%d,parts=16,seed=2026", *rows))
+	view, err := sheet.Load(context.Background(), "flights", fmt.Sprintf("flights:rows=%d,parts=16,seed=2026", *rows))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func main() {
 	fmt.Println(render.HeavyHittersASCII(hh, view.NumRows()))
 
 	for _, carrier := range []string{hh[0].Value.S, hh[1].Value.S} {
-		f, err := view.FilterExpr(fmt.Sprintf("Carrier == %q", carrier))
+		f, err := view.FilterExpr(ctx, fmt.Sprintf("Carrier == %q", carrier))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func main() {
 
 	// Q: zoom into the troublesome tail.
 	fmt.Println("— zoom: delays above one hour —")
-	late, err := view.Zoom("DepDelay", 60, hv.Range.Max)
+	late, err := view.Zoom(ctx, "DepDelay", 60, hv.Range.Max)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func main() {
 
 	// Q: derive a new column with the expression language.
 	fmt.Println("— derived column: schedule slack (ArrDelay - DepDelay) —")
-	derived, err := view.DeriveColumn("Slack", "ArrDelay - DepDelay")
+	derived, err := view.DeriveColumn(ctx, "Slack", "ArrDelay - DepDelay")
 	if err != nil {
 		log.Fatal(err)
 	}

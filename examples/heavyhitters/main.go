@@ -72,7 +72,7 @@ func main() {
 	}
 
 	sheet := spreadsheet.New(engine.NewRoot(storage.NewLoader(engine.Config{}, 50000)))
-	view, err := sheet.Load("log", "file:"+path)
+	view, err := sheet.Load(context.Background(), "log", "file:"+path)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,11 +100,11 @@ func main() {
 	}
 
 	// Step 3: isolate the suspect and compare latency distributions.
-	sv, err := view.FilterExpr(fmt.Sprintf("server == %q", suspect))
+	sv, err := view.FilterExpr(ctx, fmt.Sprintf("server == %q", suspect))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rest, err := view.FilterExpr(fmt.Sprintf("server != %q", suspect))
+	rest, err := view.FilterExpr(ctx, fmt.Sprintf("server != %q", suspect))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -29,7 +29,7 @@ func main() {
 	// The stack: storage loader → engine root → spreadsheet session.
 	root := engine.NewRoot(storage.NewLoader(engine.Config{}, 0))
 	sheet := spreadsheet.New(root)
-	view, err := sheet.Load("data", "file:"+path)
+	view, err := sheet.Load(context.Background(), "data", "file:"+path)
 	if err != nil {
 		log.Fatal(err)
 	}

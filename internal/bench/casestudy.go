@@ -40,7 +40,7 @@ func (s *session) act() { s.actions++ }
 // filter wraps View.FilterExpr as one action.
 func (s *session) filter(v *spreadsheet.View, pred string) (*spreadsheet.View, error) {
 	s.act()
-	return v.FilterExpr(pred)
+	return v.FilterExpr(context.Background(), pred)
 }
 
 // histo wraps a histogram request as one action.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -125,7 +126,7 @@ func (e *HVEnv) LoadScale(scale int) (*spreadsheet.View, error) {
 	if ok {
 		return v, nil
 	}
-	v, err := e.Sheet.Load(name, e.flightsSource(scale))
+	v, err := e.Sheet.Load(context.Background(), name, e.flightsSource(scale))
 	if err != nil {
 		return nil, err
 	}

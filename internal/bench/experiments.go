@@ -161,7 +161,7 @@ func RunFig6(p Params, scales []int, dir string) (*Fig5Result, error) {
 			return nil, err
 		}
 		name := fmt.Sprintf("cold-%dx", scale)
-		view, err := env.Sheet.Load(name, src)
+		view, err := env.Sheet.Load(context.Background(), name, src)
 		if err != nil {
 			return nil, err
 		}
@@ -372,7 +372,7 @@ func RunFig8(p Params, rowsPerLeaf, leavesPerServer int, serverCounts []int) ([]
 		src := fmt.Sprintf("flights:rows=%d,parts=%d,cols=%d,seed=%d00{worker}",
 			rowsPerLeaf*leavesPerServer, leavesPerServer, flights.CoreColumns, q.Seed)
 		name := fmt.Sprintf("fig8-%d", servers)
-		if _, err := env.Sheet.Load(name, src); err != nil {
+		if _, err := env.Sheet.Load(context.Background(), name, src); err != nil {
 			env.Close()
 			return nil, err
 		}

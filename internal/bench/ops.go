@@ -106,7 +106,7 @@ var Ops = []Op{
 	{
 		Name: "O6", Desc: "Filter + range + (histogram & cdf), numerical data",
 		Hillview: func(ctx context.Context, v *spreadsheet.View, p engine.PartialFunc) error {
-			f, err := v.FilterExpr("DepDelay > 0")
+			f, err := v.FilterExpr(ctx, "DepDelay > 0")
 			if err != nil {
 				return err
 			}

@@ -210,6 +210,20 @@ func (w *Worker) serveConn(conn net.Conn) {
 				mu.Unlock()
 				cancel()
 			}()
+			// A panic while serving one request (a buggy sketch summarize,
+			// a malformed operand) must not kill the worker process — the
+			// worker is one process serving every query of every root.
+			// Convert it to this request's error reply; the engine treats
+			// it as non-retryable, so only the offending query fails.
+			defer func() {
+				if pe := engine.CapturePanic(recover()); pe != nil {
+					w.logf("cluster worker: request %d: %v\n%s", env.ReqID, pe, pe.Stack)
+					reply := &Envelope{Kind: MsgError, ReqID: env.ReqID, Err: pe.Error()}
+					if err := fc.send(reply); err != nil {
+						w.logf("cluster worker: send: %v", err)
+					}
+				}
+			}()
 			w.handle(ctx, fc, env)
 		}(env)
 	}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// rowHookSketch is a test sketch that visits member rows one at a time,
+// counting them into visited and invoking hook per row. WholePartition
+// keeps the engine from chunking it, so the only thing that can stop
+// its scan early is the mid-chunk cancellation probe.
+type rowHookSketch struct {
+	visited *atomic.Int64
+	hook    func(visited int64)
+}
+
+func (s *rowHookSketch) Name() string        { return "rowhook" }
+func (s *rowHookSketch) Zero() sketch.Result { return int64(0) }
+func (s *rowHookSketch) WholePartition()     {}
+func (s *rowHookSketch) Merge(a, b sketch.Result) (sketch.Result, error) {
+	return a.(int64) + b.(int64), nil
+}
+
+func (s *rowHookSketch) Summarize(t *table.Table) (sketch.Result, error) {
+	var n int64
+	t.Members().Iterate(func(int) bool {
+		n++
+		v := s.visited.Add(1)
+		if s.hook != nil {
+			s.hook(v)
+		}
+		return true
+	})
+	return n, nil
+}
+
+// TestLocalCancellationMidChunk pins the mid-chunk seam: a
+// whole-partition scan (one task — no between-task cancellation points)
+// stops within one probe polling interval of the context being
+// cancelled, instead of burning through the rest of the partition.
+func TestLocalCancellationMidChunk(t *testing.T) {
+	const rows = 400000
+	const cancelAt = 100000
+	parts := genParts("mid", 1, rows, 11)
+	ds := NewLocal("mid", parts, Config{Parallelism: 1, AggregationWindow: -1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var visited atomic.Int64
+	sk := &rowHookSketch{visited: &visited, hook: func(v int64) {
+		if v == cancelAt {
+			cancel()
+		}
+	}}
+	_, err := ds.Sketch(ctx, sk, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// One polling interval is 64Ki rows; allow two for slack. Without
+	// the probe the scan would visit all 400000 rows.
+	if v := visited.Load(); v >= cancelAt+2*(1<<16) {
+		t.Errorf("scan visited %d rows after cancellation at row %d", v, cancelAt)
+	}
+}
+
+// panicSketch panics while summarizing partition ID target (every
+// partition when target is empty).
+type panicSketch struct {
+	target string
+}
+
+func (s *panicSketch) Name() string        { return "panic(" + s.target + ")" }
+func (s *panicSketch) Zero() sketch.Result { return int64(0) }
+func (s *panicSketch) Merge(a, b sketch.Result) (sketch.Result, error) {
+	return a.(int64) + b.(int64), nil
+}
+
+func (s *panicSketch) Summarize(t *table.Table) (sketch.Result, error) {
+	if s.target == "" || t.ID() == s.target {
+		panic(fmt.Sprintf("injected panic on %s", t.ID()))
+	}
+	return int64(1), nil
+}
+
+// TestLocalPanicIsolated pins panic isolation at the leaf pool: a
+// panicking sketch fails its own query with *PanicError — it does not
+// crash the test process — and the dataset remains usable afterwards.
+func TestLocalPanicIsolated(t *testing.T) {
+	parts := genParts("pk", 8, 200, 12)
+	ds := NewLocal("pk", parts, Config{Parallelism: 4, AggregationWindow: -1})
+
+	_, err := ds.Sketch(context.Background(), &panicSketch{target: "pk-p3"}, nil)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value == nil || len(pe.Stack) == 0 {
+		t.Error("PanicError missing value or stack")
+	}
+
+	// The pool survives: the next query runs normally.
+	res, err := ds.Sketch(context.Background(), histSketch(), nil)
+	if err != nil || res == nil {
+		t.Fatalf("query after panic: res=%v err=%v", res, err)
+	}
+}
+
+// TestParallelPanicIsolated pins the same property one level up the
+// tree: a panic below an aggregation node fails only the query.
+func TestParallelPanicIsolated(t *testing.T) {
+	a := NewLocal("pa", genParts("pa", 2, 100, 13), Config{AggregationWindow: -1})
+	b := NewLocal("pb", genParts("pb", 2, 100, 14), Config{AggregationWindow: -1})
+	tree := NewParallel("tree", []IDataSet{a, b}, Config{AggregationWindow: -1})
+
+	_, err := tree.Sketch(context.Background(), &panicSketch{target: "pb-p1"}, nil)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if _, err := tree.Sketch(context.Background(), histSketch(), nil); err != nil {
+		t.Fatalf("query after panic: %v", err)
+	}
+}

@@ -209,7 +209,21 @@ func SketchReplicated(ctx context.Context, sk sketch.Sketch, onPartial PartialFu
 			inflight++
 			cb := attemptCb(g)
 			go func() {
-				res, err := r.Sketch(gctx, sk, cb)
+				var (
+					res sketch.Result
+					err error
+				)
+				// A panicking attempt is an outcome, not a crash: it fails
+				// this query (panics are not Retryable) and leaves the
+				// other ranges and the process intact.
+				func() {
+					defer func() {
+						if pe := CapturePanic(recover()); pe != nil {
+							err = pe
+						}
+					}()
+					res, err = r.Sketch(gctx, sk, cb)
+				}()
 				results <- outcome{res: res, err: err, name: r.Name(), spec: spec}
 			}()
 			return r.Name()

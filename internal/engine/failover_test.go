@@ -247,6 +247,78 @@ func TestFailoverContextCancel(t *testing.T) {
 	}
 }
 
+// TestFailoverDeadlineStopsRetries pins deadline propagation through
+// the failover path: when the query deadline expires mid-retry-chain,
+// SketchReplicated returns context.DeadlineExceeded promptly instead of
+// marching through the remaining replicas. This is what makes the
+// serving layer's -query-deadline meaningful on a replicated cluster —
+// a deadline bounds the whole query, failover included.
+func TestFailoverDeadlineStopsRetries(t *testing.T) {
+	const perAttempt = 30 * time.Millisecond
+	var calls atomic.Int32
+	slowDead := func(name string) *fakeReplica {
+		return &fakeReplica{name: name, healthy: true, run: func(ctx context.Context, _ PartialFunc) (sketch.Result, error) {
+			calls.Add(1)
+			select {
+			case <-time.After(perAttempt):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return nil, errConn
+		}}
+	}
+	rs := make([]Replica, 10)
+	for i := range rs {
+		rs[i] = slowDead(fmt.Sprintf("w%d", i))
+	}
+	groups := []ReplicaGroup{group(0, 1, 1, rs...)}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*perAttempt)
+	defer cancel()
+	start := time.Now()
+	_, err := SketchReplicated(ctx, sumSketch{}, nil, groups,
+		Config{AggregationWindow: -1}, FailoverOptions{Retryable: retryConn})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if full := time.Duration(len(rs)) * perAttempt; elapsed >= full {
+		t.Fatalf("returned after %v — retried past the deadline (full chain ≈ %v)", elapsed, full)
+	}
+	if c := int(calls.Load()); c == len(rs) {
+		t.Errorf("all %d replicas were tried despite the deadline", c)
+	}
+}
+
+// TestFailoverDeadlineMidStuckAttempt: an attempt that ignores
+// cancellation entirely must not pin the query past its deadline — the
+// dispatcher observes ctx.Done itself and returns without waiting for
+// the attempt goroutine.
+func TestFailoverDeadlineMidStuckAttempt(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	stuck := &fakeReplica{name: "stuck", healthy: true, run: func(context.Context, PartialFunc) (sketch.Result, error) {
+		<-release
+		return nil, errConn
+	}}
+	groups := []ReplicaGroup{group(0, 1, 1, stuck)}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := SketchReplicated(ctx, sumSketch{}, nil, groups,
+			Config{AggregationWindow: -1}, FailoverOptions{Retryable: retryConn})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline did not unblock the replicated sketch")
+	}
+}
+
 func TestFailoverMatchesParallelFoldOrder(t *testing.T) {
 	// The replicated fold must be bit-identical to ParallelDataSet's:
 	// same group count, same per-group results, same fold order. Use a

@@ -261,8 +261,11 @@ func mergeSnapshots(sk sketch.Sketch, workers []*leafWorker) (sketch.Result, err
 // worker merges a snapshot of every worker's state and invokes
 // onPartial holding only the emission lock, never a fold or progress
 // lock — a slow partial consumer costs dropped partials, never a
-// stalled scan. Done counts fully folded partitions, and cancellation
-// stops workers from pulling not-yet-started tasks.
+// stalled scan. Done counts fully folded partitions. Cancellation stops
+// workers from pulling not-yet-started tasks, and a probe threaded into
+// each task's table (WithCancel) stops the running chunk scan itself
+// within ~64Ki rows; a panic in sketch code is recovered into the
+// query's error instead of crashing the pool's process.
 func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial PartialFunc) (sketch.Result, error) {
 	total := d.numParts()
 	cols := sketch.SketchColumns(sk)
@@ -333,6 +336,15 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 		onPartial(Partial{Result: snap, Done: dn, Total: total})
 	}
 
+	// cancelProbe is threaded into every task table (table.WithCancel) so
+	// kernels stop mid-chunk, not just between chunks — whole-partition
+	// sketches and unchunked configurations would otherwise keep burning
+	// cores long after the query was abandoned. A probed scan may
+	// truncate silently; that is safe because a fired probe implies
+	// ctx.Err() != nil, and the fold below is discarded whenever the
+	// context is cancelled.
+	cancelProbe := func() bool { return ctx.Err() != nil }
+
 	var (
 		cursor atomic.Int64
 		wg     sync.WaitGroup
@@ -341,6 +353,19 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 		wg.Add(1)
 		go func(wi int, w *leafWorker) {
 			defer wg.Done()
+			// A panicking sketch fails this query only: the recovered
+			// panic becomes the scan's first error, the other workers
+			// drain out via the firstErr check, and the pool's caller —
+			// possibly a long-lived server — keeps running.
+			defer func() {
+				if pe := CapturePanic(recover()); pe != nil {
+					progMu.Lock()
+					if firstErr == nil {
+						firstErr = pe
+					}
+					progMu.Unlock()
+				}
+			}()
 			// Dynamic scheduling pulls from the shared cursor; static
 			// assignment (Config.StaticAssignment) walks a fixed stride
 			// so the chunk-to-worker mapping is a pure function of the
@@ -370,13 +395,19 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 				tk := tasks[i]
 				t, release, err := d.taskTable(tk, cols)
 				if err == nil {
-					err = w.add(sk, t)
+					err = w.add(sk, t.WithCancel(cancelProbe))
 					// Unpin as soon as the fold lands: the resident
 					// working set is bounded by the worker pool, not the
 					// dataset.
 					if release != nil {
 						release()
 					}
+				}
+				if err == nil && ctx.Err() != nil {
+					// The probe may have truncated this chunk's scan
+					// mid-stream; never mark it done or emit from it —
+					// the cancelled query's fold is discarded wholesale.
+					return
 				}
 				if err != nil {
 					progMu.Lock()

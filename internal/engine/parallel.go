@@ -76,6 +76,17 @@ func (d *ParallelDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartia
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// A panic below this child becomes this query's error, not a
+			// process crash (mirrors the leaf pool's recovery).
+			defer func() {
+				if pe := CapturePanic(recover()); pe != nil {
+					mu.Lock()
+					if errs[i] == nil {
+						errs[i] = pe
+					}
+					mu.Unlock()
+				}
+			}()
 			child := d.children[i]
 			// Only subscribe to child partials when our own caller wants
 			// them: remote children suppress partial streaming entirely

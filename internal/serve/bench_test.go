@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/flights"
+	"repro/internal/sketch"
+	"repro/internal/storage"
+	"repro/internal/table"
+)
+
+// The serving benchmark answers two questions for BENCH_serving.json:
+//
+//  1. Overhead: what does routing every query through the scheduler cost
+//     vs calling the engine directly, at 1 and at 100 concurrent
+//     sessions? (BenchmarkServeDirect / BenchmarkServeScheduled — run
+//     them interleaved in one process; queries/s is ns/op inverted,
+//     p99_ms is reported as a custom metric.)
+//  2. Overload behavior: at 10x the scheduler's capacity, what fraction
+//     of queries is shed, and do admitted queries still finish?
+//     (BenchmarkServeOverloadShed — shed_frac metric.)
+//
+// Each query uses a distinct sampling seed so neither the engine cache
+// nor single-flight dedup can serve it without a scan: both legs do the
+// same work per op, and the A/B isolates pure scheduling overhead.
+
+var registerFlights sync.Once
+
+func benchRoot(b *testing.B) *engine.Root {
+	b.Helper()
+	registerFlights.Do(flights.Register)
+	root := engine.NewRoot(storage.NewLoader(engine.Config{AggregationWindow: -1}, 0))
+	if _, err := root.Load("fl", "flights:rows=50000,parts=4,seed=7"); err != nil {
+		b.Fatal(err)
+	}
+	return root
+}
+
+var benchSeed atomic.Uint64
+
+// benchSketch builds a per-call unique query (distinct seed → distinct
+// cache key) so every op pays for a real scan.
+func benchSketch() sketch.Sketch {
+	return &sketch.SampledHistogramSketch{
+		Col:     "Distance",
+		Buckets: sketch.NumericBuckets(table.KindDouble, 0, 3000, 50),
+		Rate:    0.5,
+		Seed:    benchSeed.Add(1),
+	}
+}
+
+// runSessions drives b.N queries through run from `sessions` concurrent
+// client goroutines and reports p99 latency alongside ns/op.
+func runSessions(b *testing.B, sessions int, run Runner) {
+	b.Helper()
+	var (
+		mu   sync.Mutex
+		lats = make([]time.Duration, 0, b.N)
+		next atomic.Int64
+	)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, b.N/sessions+1)
+			for next.Add(1) <= int64(b.N) {
+				start := time.Now()
+				if _, err := run.RunSketch(context.Background(), "fl", benchSketch(), nil); err != nil {
+					b.Error(err)
+					return
+				}
+				local = append(local, time.Since(start))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := lats[len(lats)*99/100]
+	b.ReportMetric(float64(p99)/1e6, "p99_ms")
+}
+
+func BenchmarkServeDirect(b *testing.B) {
+	root := benchRoot(b)
+	for _, sessions := range []int{1, 100} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			runSessions(b, sessions, root)
+		})
+	}
+}
+
+func BenchmarkServeScheduled(b *testing.B) {
+	root := benchRoot(b)
+	// Provisioned for the benchmark's peak concurrency: the A/B measures
+	// per-query scheduling overhead, not shedding (that is
+	// BenchmarkServeOverloadShed), so no query may be turned away.
+	s := New(root, Config{MaxInFlight: 128, QueueDepth: 128, Deadline: -1})
+	for _, sessions := range []int{1, 100} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			runSessions(b, sessions, s)
+		})
+	}
+}
+
+// fixedServiceRunner completes every query after a fixed service time.
+// The shed benchmark uses it instead of the real engine because on a
+// single-vCPU host an in-process scan runs to completion before the
+// next client goroutine is scheduled — bursts serialize and nothing
+// sheds, which measures the runtime's scheduler, not admission control.
+// A timer genuinely parks the query goroutine, so the burst overlaps.
+type fixedServiceRunner struct{ d time.Duration }
+
+func (f fixedServiceRunner) RunSketch(ctx context.Context, _ string, _ sketch.Sketch, _ engine.PartialFunc) (sketch.Result, error) {
+	select {
+	case <-time.After(f.d):
+		return int64(1), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// BenchmarkServeOverloadShed fires 10x the scheduler's total capacity
+// (slots + queue) in concurrent bursts of fixed-service-time queries
+// and reports the shed fraction. Admitted queries must all succeed;
+// shed queries must return ErrShed — anything else fails the benchmark.
+func BenchmarkServeOverloadShed(b *testing.B) {
+	const slots, queue = 4, 8
+	s := New(fixedServiceRunner{d: 2 * time.Millisecond}, Config{MaxInFlight: slots, QueueDepth: queue, Deadline: -1})
+	clients := 10 * (slots + queue)
+
+	var ok, shed atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := s.RunSketch(context.Background(), "fl", benchSketch(), nil)
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, ErrShed):
+					shed.Add(1)
+				default:
+					b.Errorf("unexpected error under overload: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	total := ok.Load() + shed.Load()
+	if total > 0 {
+		b.ReportMetric(float64(shed.Load())/float64(total), "shed_frac")
+		b.ReportMetric(float64(ok.Load())/float64(b.N), "admitted/burst")
+	}
+}

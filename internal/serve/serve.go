@@ -1,0 +1,410 @@
+// Package serve is the overload-safe query scheduler between the HTTP
+// handlers and the engine: every sketch execution of a multi-user
+// Hillview deployment flows through a Scheduler, which provides
+//
+//   - admission control: a bounded semaphore of concurrently executing
+//     scans plus a bounded FIFO wait queue; work past both is rejected
+//     promptly (ErrShed → 429 + Retry-After) instead of piling up until
+//     the process OOMs;
+//   - deadlines: queries without their own deadline get the server
+//     default, which propagates through engine.Sketch/SketchReplicated
+//     down to chunk tasks (the mid-chunk cancellation probe,
+//     table.Table.WithCancel) and cluster RPCs (MsgCancel), so an
+//     abandoned browser tab stops burning cores;
+//   - in-flight dedup: identical (dataset, sketch) queries join one
+//     running execution via single-flight and share its partial stream —
+//     the computation cache (paper §5.4) extended to running queries,
+//     sound because summaries are pure functions of (dataset, sketch)
+//     under Hillview's determinism contract;
+//   - panic isolation and resource governance: a panic anywhere under a
+//     query becomes that query's 500, counted in Stats, and per-query
+//     result-row budgets bound table-page responses before they execute.
+//
+// The Scheduler wraps anything with the engine root's RunSketch shape
+// and exposes the same shape itself, so it slots between the
+// spreadsheet layer and the engine without either knowing.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sketch"
+)
+
+// Runner executes sketches; *engine.Root satisfies it, and Scheduler
+// itself does too (schedulers nest, though one layer is the norm).
+type Runner interface {
+	RunSketch(ctx context.Context, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (sketch.Result, error)
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultQueueDepth    = 64
+	DefaultDeadline      = 30 * time.Second
+	DefaultMaxResultRows = 100000
+	DefaultRetryAfter    = time.Second
+)
+
+// Config tunes a Scheduler. The zero value gets sensible server
+// defaults; set a field negative to disable it where noted.
+type Config struct {
+	// MaxInFlight bounds concurrently executing scans. Each scan is
+	// internally parallel across the leaf pool, so this is a multiple of
+	// GOMAXPROCS, not of expected user count. 0 means 2×GOMAXPROCS.
+	MaxInFlight int
+	// QueueDepth bounds queries waiting for an execution slot; arrivals
+	// past it are shed with ErrShed. 0 means DefaultQueueDepth.
+	QueueDepth int
+	// Deadline is the default per-query deadline, applied when the
+	// caller's context has none tighter. 0 means DefaultDeadline; < 0
+	// disables the default deadline.
+	Deadline time.Duration
+	// MaxResultRows bounds the row count a single query may request
+	// (e.g. a nextk table page's K). 0 means DefaultMaxResultRows; < 0
+	// disables the budget.
+	MaxResultRows int
+	// RetryAfter is the hint written on 429/503 responses. 0 means
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.Deadline == 0 {
+		c.Deadline = DefaultDeadline
+	}
+	if c.MaxResultRows == 0 {
+		c.MaxResultRows = DefaultMaxResultRows
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	return c
+}
+
+// Stats is a snapshot of scheduler telemetry. InFlight and Queued are
+// gauges; the rest are cumulative counters.
+type Stats struct {
+	InFlight         int64 `json:"in_flight"`
+	Queued           int64 `json:"queued"`
+	Admitted         int64 `json:"admitted"`
+	Shed             int64 `json:"shed"`
+	QueueTimeouts    int64 `json:"queue_timeouts"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	Cancelled        int64 `json:"cancelled"`
+	PanicsRecovered  int64 `json:"panics_recovered"`
+	DedupJoins       int64 `json:"dedup_joins"`
+	Execs            int64 `json:"execs"`
+}
+
+// Scheduler is the serving layer's query scheduler. It is safe for
+// concurrent use by any number of request goroutines.
+type Scheduler struct {
+	run   Runner
+	cfg   Config
+	slots chan struct{} // execution semaphore; buffered to MaxInFlight
+
+	inflight  atomic.Int64
+	queued    atomic.Int64
+	admitted  atomic.Int64
+	shed      atomic.Int64
+	queueTO   atomic.Int64
+	deadlines atomic.Int64
+	cancels   atomic.Int64
+	panics    atomic.Int64
+	dedups    atomic.Int64
+	execs     atomic.Int64
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// New builds a scheduler over run.
+func New(run Runner, cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	return &Scheduler{
+		run:     run,
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.MaxInFlight),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Config returns the scheduler's effective (defaulted) configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Stats returns a telemetry snapshot.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		InFlight:         s.inflight.Load(),
+		Queued:           s.queued.Load(),
+		Admitted:         s.admitted.Load(),
+		Shed:             s.shed.Load(),
+		QueueTimeouts:    s.queueTO.Load(),
+		DeadlineExceeded: s.deadlines.Load(),
+		Cancelled:        s.cancels.Load(),
+		PanicsRecovered:  s.panics.Load(),
+		DedupJoins:       s.dedups.Load(),
+		Execs:            s.execs.Load(),
+	}
+}
+
+// RunSketch implements Runner: it runs sk over datasetID under
+// admission control, the default deadline, and single-flight dedup.
+// Errors are the typed scheduler contract (ErrShed, ErrQueueTimeout,
+// ErrResultBudget, context errors, *engine.PanicError) plus whatever
+// the underlying runner returns; HTTPStatus maps them to status codes.
+func (s *Scheduler) RunSketch(ctx context.Context, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (sketch.Result, error) {
+	if err := s.checkBudget(sk); err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+
+	// Only deterministic (cacheable) sketches may share an execution:
+	// the cache key identifies the result, so every subscriber is owed
+	// the same bits. Randomized sketches carry explicit seeds — equal
+	// seeds make them cacheable too; distinct seeds mean distinct
+	// queries, which is exactly what the key captures.
+	key, sharable := engine.Key(datasetID, sk)
+	if !sharable {
+		return s.classify(s.execute(ctx, datasetID, sk, onPartial))
+	}
+	fl, sub := s.joinFlight(key, datasetID, sk, onPartial)
+	return s.classify(fl.wait(ctx, s, sub))
+}
+
+// classify tallies per-query outcome counters and passes err through.
+func (s *Scheduler) classify(res sketch.Result, err error) (sketch.Result, error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlines.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.cancels.Add(1)
+	}
+	return res, err
+}
+
+// checkBudget rejects queries whose requested result size exceeds the
+// per-query budget, before any execution cost is paid.
+func (s *Scheduler) checkBudget(sk sketch.Sketch) error {
+	max := s.cfg.MaxResultRows
+	if max <= 0 {
+		return nil
+	}
+	if nk, ok := sk.(*sketch.NextKSketch); ok && nk.K > max {
+		return fmt.Errorf("%w: table page of %d rows exceeds the %d-row limit", ErrResultBudget, nk.K, max)
+	}
+	return nil
+}
+
+// withDeadline applies the server default deadline unless the caller
+// already carries a tighter one.
+func (s *Scheduler) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.Deadline <= 0 {
+		return ctx, func() {}
+	}
+	if d, ok := ctx.Deadline(); ok && time.Until(d) <= s.cfg.Deadline {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.cfg.Deadline)
+}
+
+// execute runs one underlying execution: admission, then the runner,
+// with panics recovered into the query's error.
+func (s *Scheduler) execute(ctx context.Context, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (res sketch.Result, err error) {
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.slots
+		// Recover here — after the slot release defer is queued — so a
+		// panicking sketch can neither leak a slot nor kill the server.
+		if pe := engine.CapturePanic(recover()); pe != nil {
+			res, err = nil, pe
+		}
+		var pe *engine.PanicError
+		if errors.As(err, &pe) {
+			s.panics.Add(1)
+		}
+	}()
+	s.execs.Add(1)
+	return s.run.RunSketch(ctx, datasetID, sk, onPartial)
+}
+
+// admit acquires an execution slot or a queue position, shedding when
+// both are full. Blocked senders on the slot channel are served FIFO by
+// the runtime, which is the bounded FIFO wait queue.
+func (s *Scheduler) admit(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		s.admitted.Add(1)
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.shed.Add(1)
+		return fmt.Errorf("%w: %d executing, %d queued", ErrShed, s.cfg.MaxInFlight, s.cfg.QueueDepth)
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		s.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		err := ctx.Err()
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The deadline ran out before execution ever started: that is
+			// server congestion (503), not a slow query (504).
+			s.queueTO.Add(1)
+			return fmt.Errorf("%w: %w", ErrQueueTimeout, err)
+		}
+		return err
+	}
+}
+
+// flight is one shared execution of a cacheable (dataset, sketch) pair.
+// All bookkeeping is under Scheduler.mu; the execution itself runs on
+// its own goroutine with a detached, server-deadlined context so no
+// single subscriber's disconnect kills it — only all of them leaving
+// does.
+type flight struct {
+	key      string
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
+	res      sketch.Result
+	err      error
+	subs     map[int]*subscriber
+	nextSub  int
+	finished bool
+	removed  bool
+}
+
+// subscriber is one query joined to a flight. gone guards the partial
+// callback: after the subscriber's wait returns, its callback is never
+// invoked again (the HTTP handler behind it is gone).
+type subscriber struct {
+	token     int
+	mu        sync.Mutex
+	gone      bool
+	onPartial engine.PartialFunc
+}
+
+func (sub *subscriber) deliver(p engine.Partial) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if !sub.gone && sub.onPartial != nil {
+		sub.onPartial(p)
+	}
+}
+
+// joinFlight subscribes to the running flight for key, creating (and
+// launching) it if absent.
+func (s *Scheduler) joinFlight(key, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (*flight, *subscriber) {
+	sub := &subscriber{onPartial: onPartial}
+	s.mu.Lock()
+	fl := s.flights[key]
+	created := fl == nil
+	if created {
+		fctx, fcancel := context.WithCancel(context.Background())
+		if s.cfg.Deadline > 0 {
+			fctx, fcancel = context.WithTimeout(context.Background(), s.cfg.Deadline)
+		}
+		fl = &flight{key: key, ctx: fctx, cancel: fcancel, done: make(chan struct{}), subs: make(map[int]*subscriber)}
+		s.flights[key] = fl
+	} else {
+		s.dedups.Add(1)
+	}
+	sub.token = fl.nextSub
+	fl.nextSub++
+	fl.subs[sub.token] = sub
+	s.mu.Unlock()
+	if created {
+		go s.runFlight(fl, datasetID, sk)
+	}
+	return fl, sub
+}
+
+// runFlight executes the shared query and publishes its outcome.
+func (s *Scheduler) runFlight(fl *flight, datasetID string, sk sketch.Sketch) {
+	defer fl.cancel()
+	res, err := s.execute(fl.ctx, datasetID, sk, fl.fanout(s))
+	s.mu.Lock()
+	fl.res, fl.err = res, err
+	fl.finished = true
+	if !fl.removed {
+		delete(s.flights, fl.key)
+		fl.removed = true
+	}
+	s.mu.Unlock()
+	close(fl.done)
+}
+
+// fanout builds the flight's partial callback: each partial is
+// delivered to every current subscriber. Partials are cumulative
+// snapshots, so a subscriber that joined late simply starts at the
+// stream's current prefix.
+func (fl *flight) fanout(s *Scheduler) engine.PartialFunc {
+	return func(p engine.Partial) {
+		s.mu.Lock()
+		subs := make([]*subscriber, 0, len(fl.subs))
+		for _, sub := range fl.subs {
+			subs = append(subs, sub)
+		}
+		s.mu.Unlock()
+		for _, sub := range subs {
+			sub.deliver(p)
+		}
+	}
+}
+
+// wait blocks until the flight finishes or the subscriber's own context
+// ends, then detaches. When the last subscriber detaches from an
+// unfinished flight, the flight is cancelled and unregistered — later
+// identical queries start fresh rather than joining a dying execution.
+func (fl *flight) wait(ctx context.Context, s *Scheduler, sub *subscriber) (sketch.Result, error) {
+	var (
+		res sketch.Result
+		err error
+	)
+	select {
+	case <-fl.done:
+		res, err = fl.res, fl.err
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	sub.mu.Lock()
+	sub.gone = true
+	sub.mu.Unlock()
+	s.mu.Lock()
+	delete(fl.subs, sub.token)
+	if len(fl.subs) == 0 && !fl.finished {
+		if !fl.removed {
+			delete(s.flights, fl.key)
+			fl.removed = true
+		}
+		fl.cancel()
+	}
+	s.mu.Unlock()
+	return res, err
+}

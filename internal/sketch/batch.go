@@ -29,7 +29,12 @@ const kernelBatch = 4096
 // denseSpans reports whether m should be scanned via the span path.
 // Full memberships and row ranges always are; a bitmap or sparse
 // membership uses the gather path (its spans are typically short).
+// A cancellation wrapper (table.Table.WithCancel) is dispatched on the
+// membership it wraps, so probed scans keep the representation's path.
 func denseSpans(m table.Membership) bool {
+	if b, ok := m.(interface{ Base() table.Membership }); ok {
+		m = b.Base()
+	}
 	if _, ok := m.(table.RangeMembership); ok {
 		return true
 	}

@@ -55,7 +55,7 @@ func (v *View) prepareBuckets(ctx context.Context, col string, bars int) (sketch
 		return sketch.BucketSpec{}, nil, err
 	}
 	if kind.Numeric() {
-		res, err := v.sheet.root.RunSketch(ctx, v.id, &sketch.RangeSketch{Col: col}, nil)
+		res, err := v.sheet.run.RunSketch(ctx, v.id, &sketch.RangeSketch{Col: col}, nil)
 		if err != nil {
 			return sketch.BucketSpec{}, nil, err
 		}
@@ -67,7 +67,7 @@ func (v *View) prepareBuckets(ctx context.Context, col string, bars int) (sketch
 	}
 	// String column: equi-width buckets from bottom-k distinct sampling
 	// (App. B.1).
-	res, err := v.sheet.root.RunSketch(ctx, v.id, &sketch.DistinctBottomKSketch{Col: col, K: 500}, nil)
+	res, err := v.sheet.run.RunSketch(ctx, v.id, &sketch.DistinctBottomKSketch{Col: col, K: 500}, nil)
 	if err != nil {
 		return sketch.BucketSpec{}, nil, err
 	}
@@ -103,7 +103,7 @@ func (v *View) Histogram(ctx context.Context, col string, opts ChartOptions) (*H
 			rate := sketch.Rate(sketch.HistogramSampleSize(spec.Count, opts.Height, DefaultDelta), int(n))
 			sk = &sketch.SampledHistogramSketch{Col: col, Buckets: spec, Rate: rate, Seed: v.sheet.nextSeed()}
 		}
-		res, err := v.sheet.root.RunSketch(ctx, v.id, sk, opts.OnPartial)
+		res, err := v.sheet.run.RunSketch(ctx, v.id, sk, opts.OnPartial)
 		results <- result{res: res, err: err}
 	}()
 	if opts.WithCDF && spec.Kind.Numeric() {
@@ -114,7 +114,7 @@ func (v *View) Histogram(ctx context.Context, col string, opts ChartOptions) (*H
 			if opts.Exact {
 				rate = 0
 			}
-			res, err := v.sheet.root.RunSketch(ctx, v.id, &sketch.CDFSketch{Col: col, Buckets: cdfSpec, Rate: rate, Seed: v.sheet.nextSeed()}, nil)
+			res, err := v.sheet.run.RunSketch(ctx, v.id, &sketch.CDFSketch{Col: col, Buckets: cdfSpec, Rate: rate, Seed: v.sheet.nextSeed()}, nil)
 			results <- result{res: res, err: err, cdf: true}
 		}()
 	}
@@ -159,7 +159,7 @@ func (v *View) StackedHistogram(ctx context.Context, xcol, ycol string, normaliz
 		rate := sketch.Rate(sketch.HistogramSampleSize(xspec.Count, opts.Height, DefaultDelta), int(v.NumRows()))
 		sk = sketch.NewStackedHistogramSketch(xcol, ycol, xspec, yspec, rate, v.sheet.nextSeed())
 	}
-	res, err := v.sheet.root.RunSketch(ctx, v.id, sk, opts.OnPartial)
+	res, err := v.sheet.run.RunSketch(ctx, v.id, sk, opts.OnPartial)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +182,7 @@ func (v *View) Heatmap(ctx context.Context, xcol, ycol string, opts ChartOptions
 	}
 	rate := sketch.Rate(sketch.HeatmapSampleSize(xspec.Count, yspec.Count, DefaultColors, DefaultDelta), int(v.NumRows()))
 	sk := sketch.NewHeatmapSketch(xcol, ycol, xspec, yspec, rate, v.sheet.nextSeed())
-	res, err := v.sheet.root.RunSketch(ctx, v.id, sk, opts.OnPartial)
+	res, err := v.sheet.run.RunSketch(ctx, v.id, sk, opts.OnPartial)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +234,7 @@ func (v *View) Trellis(ctx context.Context, groupCol, xcol, ycol string, groups 
 	}
 	rate := sketch.Rate(sketch.HeatmapSampleSize(xspec.Count*gspec.Count, yspec.Count, DefaultColors, DefaultDelta), int(v.NumRows()))
 	sk := &sketch.TrellisSketch{GroupCol: groupCol, XCol: xcol, YCol: ycol, Group: gspec, X: xspec, Y: yspec, Rate: rate, Seed: v.sheet.nextSeed()}
-	res, err := v.sheet.root.RunSketch(ctx, v.id, sk, opts.OnPartial)
+	res, err := v.sheet.run.RunSketch(ctx, v.id, sk, opts.OnPartial)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +254,7 @@ func (v *View) HeavyHitters(ctx context.Context, col string, k int, sampled bool
 	} else {
 		sk = &sketch.MisraGriesSketch{Col: col, K: k}
 	}
-	res, err := v.sheet.root.RunSketch(ctx, v.id, sk, nil)
+	res, err := v.sheet.run.RunSketch(ctx, v.id, sk, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -263,7 +263,7 @@ func (v *View) HeavyHitters(ctx context.Context, col string, k int, sampled bool
 
 // DistinctCount estimates the number of distinct values in col.
 func (v *View) DistinctCount(ctx context.Context, col string) (float64, error) {
-	res, err := v.sheet.root.RunSketch(ctx, v.id, &sketch.DistinctCountSketch{Col: col}, nil)
+	res, err := v.sheet.run.RunSketch(ctx, v.id, &sketch.DistinctCountSketch{Col: col}, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -273,7 +273,7 @@ func (v *View) DistinctCount(ctx context.Context, col string) (float64, error) {
 // ColumnSummary returns moments for a numeric column (the column
 // statistics popup).
 func (v *View) ColumnSummary(ctx context.Context, col string) (*sketch.Moments, error) {
-	res, err := v.sheet.root.RunSketch(ctx, v.id, &sketch.MomentsSketch{Col: col, K: 4}, nil)
+	res, err := v.sheet.run.RunSketch(ctx, v.id, &sketch.MomentsSketch{Col: col, K: 4}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +292,7 @@ type PCAResult struct {
 // matrix over numeric columns, by a sampling sketch (App. B.3).
 func (v *View) PCA(ctx context.Context, cols []string, k int) (*PCAResult, error) {
 	rate := sketch.Rate(100000, int(v.NumRows()))
-	res, err := v.sheet.root.RunSketch(ctx, v.id, &sketch.PCASketch{Cols: cols, Rate: rate, Seed: v.sheet.nextSeed()}, nil)
+	res, err := v.sheet.run.RunSketch(ctx, v.id, &sketch.PCASketch{Cols: cols, Rate: rate, Seed: v.sheet.nextSeed()}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +304,7 @@ func (v *View) PCA(ctx context.Context, cols []string, k int) (*PCAResult, error
 // ProjectPCA derives new columns PC0..PC(k-1) holding the projection of
 // the rows onto the top components, built as expression columns so the
 // engine can recompute them on demand.
-func (v *View) ProjectPCA(p *PCAResult, k int) (*View, error) {
+func (v *View) ProjectPCA(ctx context.Context, p *PCAResult, k int) (*View, error) {
 	if k > len(p.Components) {
 		k = len(p.Components)
 	}
@@ -317,7 +317,7 @@ func (v *View) ProjectPCA(p *PCAResult, k int) (*View, error) {
 			}
 			expr += fmt.Sprintf("%s * %v", col, p.Components[c][i])
 		}
-		next, err := cur.DeriveColumn(fmt.Sprintf("PC%d", c), expr)
+		next, err := cur.DeriveColumn(ctx, fmt.Sprintf("PC%d", c), expr)
 		if err != nil {
 			return nil, err
 		}

@@ -38,16 +38,32 @@ const (
 	HeatmapCell = 3
 )
 
+// Runner executes vizketches for a sheet. *engine.Root satisfies it
+// directly; a serving-layer scheduler (internal/serve) satisfies it too,
+// which is how admission control, deadlines, and single-flight dedup
+// interpose on every query without the spreadsheet knowing.
+type Runner interface {
+	RunSketch(ctx context.Context, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (sketch.Result, error)
+}
+
 // Sheet is a spreadsheet session over an engine root.
 type Sheet struct {
 	root   *engine.Root
+	run    Runner
 	seq    atomic.Uint64
 	seedSq atomic.Uint64
 }
 
-// New wraps an engine root.
+// New wraps an engine root; queries run directly on it.
 func New(root *engine.Root) *Sheet {
-	return &Sheet{root: root}
+	return &Sheet{root: root, run: root}
+}
+
+// NewWithRunner wraps an engine root but executes every vizketch
+// through run (structural operations — load, filter, derive — still go
+// to the root, which owns the redo log).
+func NewWithRunner(root *engine.Root, run Runner) *Sheet {
+	return &Sheet{root: root, run: run}
 }
 
 // Root exposes the underlying engine root.
@@ -72,16 +88,16 @@ type View struct {
 }
 
 // Load opens a dataset from a storage source and returns its root view.
-func (s *Sheet) Load(name, source string) (*View, error) {
+func (s *Sheet) Load(ctx context.Context, name, source string) (*View, error) {
 	if _, err := s.root.Load(name, source); err != nil {
 		return nil, err
 	}
-	return s.view(name)
+	return s.view(ctx, name)
 }
 
 // view builds a View and fetches its metadata.
-func (s *Sheet) view(id string) (*View, error) {
-	res, err := s.root.RunSketch(context.Background(), id, &sketch.MetaSketch{}, nil)
+func (s *Sheet) view(ctx context.Context, id string) (*View, error) {
+	res, err := s.run.RunSketch(ctx, id, &sketch.MetaSketch{}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -110,31 +126,31 @@ func (v *View) kindOf(col string) (table.Kind, error) {
 
 // FilterExpr derives a view keeping rows that satisfy the predicate
 // expression.
-func (v *View) FilterExpr(predicate string) (*View, error) {
+func (v *View) FilterExpr(ctx context.Context, predicate string) (*View, error) {
 	id := v.sheet.nextID("filter")
 	if _, err := v.sheet.root.Filter(v.id, id, predicate); err != nil {
 		return nil, err
 	}
-	return v.sheet.view(id)
+	return v.sheet.view(ctx, id)
 }
 
 // Zoom derives a view restricted to a numeric range — the chart
 // mouse-selection zoom.
-func (v *View) Zoom(col string, min, max float64) (*View, error) {
+func (v *View) Zoom(ctx context.Context, col string, min, max float64) (*View, error) {
 	id := v.sheet.nextID("zoom")
 	if _, err := v.sheet.root.Apply(v.id, id, engine.FilterRangeOp{Col: col, Min: min, Max: max}); err != nil {
 		return nil, err
 	}
-	return v.sheet.view(id)
+	return v.sheet.view(ctx, id)
 }
 
 // DeriveColumn derives a view with an extra computed column.
-func (v *View) DeriveColumn(name, expression string) (*View, error) {
+func (v *View) DeriveColumn(ctx context.Context, name, expression string) (*View, error) {
 	id := v.sheet.nextID("derive")
 	if _, err := v.sheet.root.Derive(v.id, id, name, expression); err != nil {
 		return nil, err
 	}
-	return v.sheet.view(id)
+	return v.sheet.view(ctx, id)
 }
 
 // --- Tabular views (paper §3.3) ---
@@ -145,7 +161,7 @@ func (v *View) TableView(ctx context.Context, order table.RecordOrder, extra []s
 	if k <= 0 {
 		k = DefaultRows
 	}
-	res, err := v.sheet.root.RunSketch(ctx, v.id, &sketch.NextKSketch{Order: order, Extra: extra, K: k, From: from}, onPartial)
+	res, err := v.sheet.run.RunSketch(ctx, v.id, &sketch.NextKSketch{Order: order, Extra: extra, K: k, From: from}, onPartial)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +219,7 @@ func (v *View) Scroll(ctx context.Context, order table.RecordOrder, extra []stri
 		SampleSize: sketch.QuantileSampleSize(pixels, DefaultDelta),
 		Seed:       v.sheet.nextSeed(),
 	}
-	res, err := v.sheet.root.RunSketch(ctx, v.id, qs, nil)
+	res, err := v.sheet.run.RunSketch(ctx, v.id, qs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +233,7 @@ func (v *View) Scroll(ctx context.Context, order table.RecordOrder, extra []stri
 
 // Find locates the next row matching a text criterion after `from`.
 func (v *View) Find(ctx context.Context, col, pattern string, kind sketch.MatchKind, caseSensitive bool, order table.RecordOrder, extra []string, from table.Row) (*sketch.FindResult, error) {
-	res, err := v.sheet.root.RunSketch(ctx, v.id, &sketch.FindTextSketch{
+	res, err := v.sheet.run.RunSketch(ctx, v.id, &sketch.FindTextSketch{
 		Col: col, Pattern: pattern, Kind: kind, CaseSensitive: caseSensitive,
 		Order: order, Extra: extra, From: from,
 	}, nil)

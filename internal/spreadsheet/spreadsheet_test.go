@@ -21,7 +21,7 @@ func testSheet(t *testing.T, rows int) (*Sheet, *View) {
 	t.Helper()
 	root := engine.NewRoot(storage.NewLoader(engine.Config{AggregationWindow: -1}, 0))
 	s := New(root)
-	v, err := s.Load("fl", "flights:rows="+itoa(rows)+",parts=4,seed=11")
+	v, err := s.Load(context.Background(), "fl", "flights:rows="+itoa(rows)+",parts=4,seed=11")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,14 +245,14 @@ func TestStackedAndHeatmapAndTrellis(t *testing.T) {
 func TestFilterZoomDerive(t *testing.T) {
 	_, v := testSheet(t, 10000)
 	ctx := context.Background()
-	ua, err := v.FilterExpr(`Carrier == "UA"`)
+	ua, err := v.FilterExpr(context.Background(), `Carrier == "UA"`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ua.NumRows() == 0 || ua.NumRows() >= v.NumRows() {
 		t.Errorf("UA filter rows = %d of %d", ua.NumRows(), v.NumRows())
 	}
-	zoomed, err := v.Zoom("DepDelay", 0, 60)
+	zoomed, err := v.Zoom(context.Background(), "DepDelay", 0, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestFilterZoomDerive(t *testing.T) {
 	if hv.Range.Min < 0 || hv.Range.Max > 60 {
 		t.Errorf("zoom range [%g, %g]", hv.Range.Min, hv.Range.Max)
 	}
-	derived, err := v.DeriveColumn("Slack", "ArrDelay - DepDelay")
+	derived, err := v.DeriveColumn(context.Background(), "Slack", "ArrDelay - DepDelay")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestPCAFlow(t *testing.T) {
 	if p.Eigenvalues[0] < 1.5 {
 		t.Errorf("top eigenvalue %v should capture the delay correlation", p.Eigenvalues[0])
 	}
-	proj, err := v.ProjectPCA(p, 2)
+	proj, err := v.ProjectPCA(context.Background(), p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +347,7 @@ func TestPCAFlow(t *testing.T) {
 
 func TestSaveCSV(t *testing.T) {
 	_, v := testSheet(t, 1000)
-	ua, err := v.FilterExpr(`Carrier == "UA"`)
+	ua, err := v.FilterExpr(context.Background(), `Carrier == "UA"`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,17 +382,17 @@ func TestErrorPaths(t *testing.T) {
 	if _, err := v.Histogram(ctx, "NoSuchCol", ChartOptions{}); err == nil {
 		t.Error("unknown column should fail")
 	}
-	if _, err := v.FilterExpr("syntax("); err == nil {
+	if _, err := v.FilterExpr(context.Background(), "syntax("); err == nil {
 		t.Error("bad filter should fail")
 	}
 	if _, err := v.PCA(ctx, []string{"Carrier"}, 1); err == nil {
 		t.Error("PCA over strings should fail")
 	}
-	if _, err := v.Zoom("Carrier", 0, 1); err == nil {
+	if _, err := v.Zoom(context.Background(), "Carrier", 0, 1); err == nil {
 		t.Error("zoom on string column should fail")
 	}
 	s := New(engine.NewRoot(storage.NewLoader(engine.Config{}, 0)))
-	if _, err := s.Load("x", "nosuch:source"); err == nil {
+	if _, err := s.Load(context.Background(), "x", "nosuch:source"); err == nil {
 		t.Error("bad source should fail")
 	}
 	if !strings.Contains((&saveSketch{Dir: "/x"}).Name(), "save") {

@@ -23,6 +23,7 @@ var (
 	faultsFlag   = flag.Int("testkit.faultseeds", 2, "number of fault-battery seeds to run")
 	pooledFlag   = flag.Int("testkit.pooledseeds", 2, "number of pooled column-store seeds to run")
 	failoverFlag = flag.Int("testkit.failoverseeds", 1, "number of replicated-failover battery seeds to run")
+	overloadFlag = flag.Int("testkit.overloadseeds", 1, "number of overload-battery seeds to run")
 	baseFlag     = flag.Uint64("testkit.base", 1, "first seed of the window")
 )
 
@@ -59,6 +60,20 @@ func TestFailoverSchedules(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			if err := RunFailover(seed); err != nil {
 				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestFailoverSchedules/seed=%d$' -testkit.base=%d -testkit.failoverseeds=1", err, seed, seed)
+			}
+		})
+	}
+}
+
+// TestOverloadSchedules runs the serving-layer overload battery — 100
+// concurrent clients against a small-capacity scheduler over a shared
+// 2-replica cluster — across its seed window.
+func TestOverloadSchedules(t *testing.T) {
+	for i := 0; i < *overloadFlag; i++ {
+		seed := *baseFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			if err := RunOverload(seed); err != nil {
+				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestOverloadSchedules/seed=%d$' -testkit.base=%d -testkit.overloadseeds=1", err, seed, seed)
 			}
 		})
 	}
