@@ -32,6 +32,21 @@
 // for that request only, and client disconnects cancel the query via
 // http.Request.Context — mid-scan, at the leaf.
 //
+// # Scan batching
+//
+// Distinct cacheable queries that arrive on the same dataset within the
+// -batch-window (default 1ms; 0 disables) coalesce into one composite
+// leaf pass (sketch.MultiSketch): the table's chunks are walked once
+// and every member sketch folds from the shared stream, with each
+// subscriber's partials and final result demuxed back out — bit-identical
+// to a solo run, because the batch shares the solo path's chunk
+// geometry, per-chunk sampling seeds, and merge order. A dashboard
+// opening eight charts over one table costs one scan, not eight.
+// Abandoning one batched query masks its member out of the remaining
+// scan without disturbing the others. /api/status reports the batching
+// telemetry: batches_formed, batch_members (total members across
+// batches), and scans_saved (members minus batches).
+//
 // The error contract handlers return:
 //
 //	429 Too Many Requests   shed at admission (Retry-After is set)
@@ -96,6 +111,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", serve.DefaultQueueDepth, "queries allowed to wait for a slot before shedding (negative = no queue)")
 	queryDeadline := flag.Duration("query-deadline", serve.DefaultDeadline, "server-side query deadline (negative = none)")
 	maxResultRows := flag.Int("max-result-rows", serve.DefaultMaxResultRows, "per-query result-row budget for tabular pages (negative = unlimited)")
+	batchWindow := flag.Duration("batch-window", serve.DefaultBatchWindow, "scan-batching window: concurrent cacheable queries on one dataset within it share a single leaf pass (0 = disabled)")
 	maxViews := flag.Int("max-views", DefaultMaxViews, "derived views kept before LRU eviction (0 = unlimited)")
 	flag.Parse()
 
@@ -141,6 +157,7 @@ func main() {
 		QueueDepth:    *queueDepth,
 		Deadline:      *queryDeadline,
 		MaxResultRows: *maxResultRows,
+		BatchWindow:   *batchWindow,
 	}, *maxViews)
 	s.pool, s.dcache, s.clu = pool, dcache, clu
 	sc := s.sched.Config()

@@ -157,6 +157,54 @@ func TestSlowPartialConsumerDoesNotStallScan(t *testing.T) {
 	}
 }
 
+// TestSlowConsumerFinalPartial pins the completion contract under a
+// slow consumer: window emissions may be dropped while the consumer is
+// busy (TryLock), but the stream always ends with exactly one
+// Done==Total partial carrying the returned final result — the final
+// emit blocks on emitMu, so it can neither race a trailing window
+// emission nor be dropped by one.
+func TestSlowConsumerFinalPartial(t *testing.T) {
+	parts := genParts("fin", 24, 1500, 23)
+	ds := NewLocal("fin", parts, Config{Parallelism: 4, AggregationWindow: time.Nanosecond})
+	var (
+		mu  sync.Mutex
+		log []Partial
+	)
+	final, err := ds.Sketch(context.Background(), histSketch(), func(p Partial) {
+		mu.Lock()
+		log = append(log, p)
+		mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) == 0 {
+		t.Fatal("no partials delivered")
+	}
+	completions := 0
+	prev := 0
+	for i, p := range log {
+		if p.Done < prev {
+			t.Errorf("partial %d: Done regressed %d -> %d", i, prev, p.Done)
+		}
+		prev = p.Done
+		if p.Done == p.Total {
+			completions++
+		}
+	}
+	if completions != 1 {
+		t.Errorf("saw %d completion partials, want exactly 1", completions)
+	}
+	last := log[len(log)-1]
+	if last.Done != last.Total {
+		t.Errorf("last delivery Done=%d Total=%d; stream must end with the completion partial", last.Done, last.Total)
+	}
+	if !reflect.DeepEqual(last.Result, final) {
+		t.Error("completion partial does not carry the returned final result")
+	}
+}
+
 func TestLocalCancellation(t *testing.T) {
 	parts := genParts("c", 64, 20000, 4)
 	ds := NewLocal("c", parts, Config{Parallelism: 2, AggregationWindow: time.Nanosecond})

@@ -306,11 +306,13 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 	// Partial emission: the worker that wins the throttle reads the
 	// progress counter, snapshots every worker, and invokes onPartial
 	// holding only emitMu — never a worker's fold lock or the progress
-	// lock. emitMu serializes emissions so Done stays monotone; it is
-	// taken with TryLock, so while a slow consumer is still inside
-	// onPartial later emissions are dropped (the next window re-emits a
-	// fresher snapshot) instead of queueing workers behind the
-	// callback. Progress is read after winning emitMu and workers fold
+	// lock. emitMu serializes emissions so Done stays monotone; window
+	// emissions take it with TryLock, so while a slow consumer is still
+	// inside onPartial later emissions are dropped (the next window
+	// re-emits a fresher snapshot) instead of queueing workers behind the
+	// callback. Only the completion emit after wg.Wait takes it blocking:
+	// dropped windows are superseded by the final Done==Total partial,
+	// never by silence. Progress is read after winning emitMu and workers fold
 	// before they update progress, so each emitted summary covers at
 	// least the chunks its Done count claims.
 	var emitMu sync.Mutex
@@ -444,7 +446,18 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 	if err != nil {
 		return nil, err
 	}
-	emit(onPartial, Partial{Result: final, Done: total, Total: total})
+	// The completion partial blocks on emitMu rather than TryLock: if a
+	// worker's trailing window emission is still inside a slow consumer's
+	// onPartial, the final Done==Total delivery waits for it instead of
+	// racing it, so the last thing every subscriber sees is the complete
+	// result. (Workers emit synchronously before wg.Wait returns, so this
+	// lock is uncontended today; it pins the ordering against future
+	// asynchronous emitters.)
+	if onPartial != nil {
+		emitMu.Lock()
+		onPartial(Partial{Result: final, Done: total, Total: total})
+		emitMu.Unlock()
+	}
 	return final, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -172,3 +173,122 @@ func BenchmarkServeOverloadShed(b *testing.B) {
 		b.ReportMetric(float64(ok.Load())/float64(b.N), "admitted/burst")
 	}
 }
+
+// batchBenchRows is the scan-batching benchmark's table size: big
+// enough that the leaf pass dominates scheduling noise.
+const batchBenchRows = 10_000_000
+
+// batchBenchData builds one 10M-row, 8-partition double-column table
+// and a LocalDataSet over it.
+func batchBenchData(b *testing.B) *engine.LocalDataSet {
+	b.Helper()
+	const parts = 8
+	schema := table.NewSchema(table.ColumnDesc{Name: "v", Kind: table.KindDouble})
+	tabs := make([]*table.Table, parts)
+	for p := 0; p < parts; p++ {
+		n := batchBenchRows / parts
+		vals := make([]float64, n)
+		x := uint64(p)*0x9e3779b97f4a7c15 + 1
+		for i := range vals {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			vals[i] = float64(x%1_000_000) / 1_000_000
+		}
+		tabs[p] = table.New(fmt.Sprintf("big-p%d", p), schema,
+			[]table.Column{table.NewDoubleColumn(vals, nil)}, table.FullMembership(n))
+	}
+	return engine.NewLocal("big", tabs, engine.Config{AggregationWindow: -1, ChunkRows: 1 << 17, StaticAssignment: true})
+}
+
+// batchBenchSketches builds K distinct cacheable queries (different
+// bucket counts → different cache keys) over the shared column.
+func batchBenchSketches(k int) []sketch.Sketch {
+	sks := make([]sketch.Sketch, k)
+	for i := range sks {
+		sks[i] = &sketch.HistogramSketch{Col: "v", Buckets: sketch.NumericBuckets(table.KindDouble, 0, 1, 8+i)}
+	}
+	return sks
+}
+
+// BenchmarkServeBatch is the tentpole A/B for BENCH_serving.json: K=8
+// concurrent distinct histogram queries over one 10M-row table, through
+// a scheduler with the batching window open vs closed, interleaved in
+// one process. scans/round is the leaf-pass count per burst — batched
+// it collapses toward 1, unbatched it is K — and the batched results
+// are verified bit-identical to solo runs before timing starts.
+func BenchmarkServeBatch(b *testing.B) {
+	const k = 8
+	ds := batchBenchData(b)
+	sks := batchBenchSketches(k)
+
+	// Correctness gate ahead of the timed legs: one generously-windowed
+	// batch must fold all K queries into a single scan whose members are
+	// bit-identical to their solo runs.
+	solo := make([]sketch.Result, k)
+	for i, sk := range sks {
+		var err error
+		if solo[i], err = ds.Sketch(context.Background(), sk, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	check := &dsRunner{ds: ds}
+	cs := New(check, Config{MaxInFlight: k, Deadline: -1, BatchWindow: 300 * time.Millisecond})
+	var wg sync.WaitGroup
+	got := make([]sketch.Result, k)
+	for i, sk := range sks {
+		wg.Add(1)
+		go func(i int, sk sketch.Sketch) {
+			defer wg.Done()
+			var err error
+			if got[i], err = cs.RunSketch(context.Background(), "big", sk, nil); err != nil {
+				b.Error(err)
+			}
+		}(i, sk)
+	}
+	wg.Wait()
+	if b.Failed() {
+		return
+	}
+	for i := range sks {
+		if !deepEqualResult(got[i], solo[i]) {
+			b.Fatalf("member %d: batched result differs from solo run", i)
+		}
+	}
+	if n := check.count(); n > 2 {
+		b.Fatalf("verification burst took %d leaf passes, want ≤2", n)
+	}
+
+	burst := func(b *testing.B, s *Scheduler) {
+		var wg sync.WaitGroup
+		for _, sk := range sks {
+			wg.Add(1)
+			go func(sk sketch.Sketch) {
+				defer wg.Done()
+				if _, err := s.RunSketch(context.Background(), "big", sk, nil); err != nil {
+					b.Error(err)
+				}
+			}(sk)
+		}
+		wg.Wait()
+	}
+	for _, leg := range []struct {
+		name   string
+		window time.Duration
+	}{{"batched", 2 * time.Millisecond}, {"unbatched", 0}} {
+		b.Run(leg.name, func(b *testing.B) {
+			run := &dsRunner{ds: ds}
+			s := New(run, Config{MaxInFlight: 2 * k, Deadline: -1, BatchWindow: leg.window})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				burst(b, s)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(run.count())/float64(b.N), "scans/round")
+		})
+	}
+}
+
+// deepEqualResult is reflect.DeepEqual behind a name the benchmark can
+// use without importing reflect at every call site.
+func deepEqualResult(a, b sketch.Result) bool { return reflect.DeepEqual(a, b) }

@@ -81,18 +81,52 @@ func (s *Scheduler) WriteError(w http.ResponseWriter, err error) {
 	WriteError(w, err, s.cfg.RetryAfter)
 }
 
+// recoverWriter tracks whether the wrapped handler has started the
+// response, so the panic recovery path can tell "nothing sent yet —
+// write a clean 500" apart from "headers (or body) already out — a
+// second WriteHeader would be a protocol violation net/http only
+// logs". Flush passes through so streaming handlers keep working
+// behind the wrapper.
+type recoverWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (rw *recoverWriter) WriteHeader(code int) {
+	rw.wrote = true
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *recoverWriter) Write(b []byte) (int, error) {
+	rw.wrote = true
+	return rw.ResponseWriter.Write(b)
+}
+
+func (rw *recoverWriter) Flush() {
+	if f, ok := rw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // Recovered wraps an HTTP handler so a panic anywhere in it — a render
 // bug, a malformed-parameter crash — becomes a 500 for that request,
 // counted in the scheduler's panic stats, instead of an aborted
-// connection (net/http's default) or a dead process.
+// connection (net/http's default) or a dead process. The 500 goes
+// through the scheduler's WriteError (the one typed-error path every
+// handler response takes) and only when the handler has not already
+// written: a panic after the response started must not stomp a second
+// status line onto a stream the client is half-way through.
 func (s *Scheduler) Recovered(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		rw := &recoverWriter{ResponseWriter: w}
 		defer func() {
 			if pe := engine.CapturePanic(recover()); pe != nil {
 				s.panics.Add(1)
-				http.Error(w, pe.Error(), http.StatusInternalServerError)
+				if !rw.wrote {
+					s.WriteError(rw, pe)
+				}
 			}
 		}()
-		h(w, r)
+		h(rw, r)
 	}
 }

@@ -16,6 +16,14 @@
 //     the computation cache (paper §5.4) extended to running queries,
 //     sound because summaries are pure functions of (dataset, sketch)
 //     under Hillview's determinism contract;
+//   - scan batching: distinct cacheable queries arriving on the same
+//     dataset within Config.BatchWindow coalesce into one
+//     sketch.MultiSketch execution — one leaf pass over the data feeds
+//     every member, whose results are demuxed so each subscriber sees
+//     exactly its own sketch's partials and final result, bit-identical
+//     to a solo run (the batch shares the solo chunk geometry, seeds,
+//     and merge order). A member whose subscribers all leave is masked
+//     out of the remaining scan without disturbing its siblings;
 //   - panic isolation and resource governance: a panic anywhere under a
 //     query becomes that query's 500, counted in Stats, and per-query
 //     result-row budgets bound table-page responses before they execute.
@@ -50,6 +58,9 @@ const (
 	DefaultDeadline      = 30 * time.Second
 	DefaultMaxResultRows = 100000
 	DefaultRetryAfter    = time.Second
+	// DefaultBatchWindow is the batching window the hillview binary
+	// passes by default; the Config zero value keeps batching off.
+	DefaultBatchWindow = time.Millisecond
 )
 
 // Config tunes a Scheduler. The zero value gets sensible server
@@ -73,6 +84,12 @@ type Config struct {
 	// RetryAfter is the hint written on 429/503 responses. 0 means
 	// DefaultRetryAfter.
 	RetryAfter time.Duration
+	// BatchWindow is the scan-batching window: a cacheable query that
+	// cannot join an identical in-flight execution waits up to this long
+	// for other cacheable queries on the same dataset, and the group runs
+	// as one sketch.MultiSketch leaf pass. 0 (the zero value) disables
+	// batching — every query executes exactly as without this feature.
+	BatchWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +127,9 @@ type Stats struct {
 	PanicsRecovered  int64 `json:"panics_recovered"`
 	DedupJoins       int64 `json:"dedup_joins"`
 	Execs            int64 `json:"execs"`
+	BatchesFormed    int64 `json:"batches_formed"`
+	BatchMembers     int64 `json:"batch_members"`
+	ScansSaved       int64 `json:"scans_saved"`
 }
 
 // Scheduler is the serving layer's query scheduler. It is safe for
@@ -130,8 +150,13 @@ type Scheduler struct {
 	dedups    atomic.Int64
 	execs     atomic.Int64
 
+	batchesFormed atomic.Int64
+	batchMembers  atomic.Int64
+	scansSaved    atomic.Int64
+
 	mu      sync.Mutex
 	flights map[string]*flight
+	batches map[string]*pendingBatch // per datasetID, while a window is open
 }
 
 // New builds a scheduler over run.
@@ -142,6 +167,7 @@ func New(run Runner, cfg Config) *Scheduler {
 		cfg:     cfg,
 		slots:   make(chan struct{}, cfg.MaxInFlight),
 		flights: make(map[string]*flight),
+		batches: make(map[string]*pendingBatch),
 	}
 }
 
@@ -161,6 +187,9 @@ func (s *Scheduler) Stats() Stats {
 		PanicsRecovered:  s.panics.Load(),
 		DedupJoins:       s.dedups.Load(),
 		Execs:            s.execs.Load(),
+		BatchesFormed:    s.batchesFormed.Load(),
+		BatchMembers:     s.batchMembers.Load(),
+		ScansSaved:       s.scansSaved.Load(),
 	}
 }
 
@@ -184,6 +213,13 @@ func (s *Scheduler) RunSketch(ctx context.Context, datasetID string, sk sketch.S
 	key, sharable := engine.Key(datasetID, sk)
 	if !sharable {
 		return s.classify(s.execute(ctx, datasetID, sk, onPartial))
+	}
+	// WholePartition sketches change the leaf chunk geometry for every
+	// member of a batch, which would break the bit-identity contract, so
+	// they keep the plain single-flight path.
+	if _, whole := sk.(sketch.WholePartition); s.cfg.BatchWindow > 0 && !whole {
+		fl, sub := s.joinBatch(key, datasetID, sk, onPartial)
+		return s.classify(fl.wait(ctx, s, sub))
 	}
 	fl, sub := s.joinFlight(key, datasetID, sk, onPartial)
 	return s.classify(fl.wait(ctx, s, sub))
@@ -298,6 +334,13 @@ type flight struct {
 	nextSub  int
 	finished bool
 	removed  bool
+
+	// Batched flights: set at batch formation. The flight is member
+	// memberIdx of batch's MultiSketch; its ctx/cancel are unused (the
+	// batch owns the execution context) and abandonment masks the member
+	// instead of cancelling (see wait).
+	batch     *batchExec
+	memberIdx int
 }
 
 // subscriber is one query joined to a flight. gone guards the partial
@@ -318,26 +361,38 @@ func (sub *subscriber) deliver(p engine.Partial) {
 	}
 }
 
+// newFlight builds a registered flight for key with a detached,
+// server-deadlined context. Caller holds s.mu.
+func (s *Scheduler) newFlight(key string) *flight {
+	fctx, fcancel := context.WithCancel(context.Background())
+	if s.cfg.Deadline > 0 {
+		fctx, fcancel = context.WithTimeout(context.Background(), s.cfg.Deadline)
+	}
+	fl := &flight{key: key, ctx: fctx, cancel: fcancel, done: make(chan struct{}), subs: make(map[int]*subscriber)}
+	s.flights[key] = fl
+	return fl
+}
+
+// subscribe attaches a new subscriber to fl. Caller holds s.mu.
+func (fl *flight) subscribe(onPartial engine.PartialFunc) *subscriber {
+	sub := &subscriber{token: fl.nextSub, onPartial: onPartial}
+	fl.nextSub++
+	fl.subs[sub.token] = sub
+	return sub
+}
+
 // joinFlight subscribes to the running flight for key, creating (and
 // launching) it if absent.
 func (s *Scheduler) joinFlight(key, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (*flight, *subscriber) {
-	sub := &subscriber{onPartial: onPartial}
 	s.mu.Lock()
 	fl := s.flights[key]
 	created := fl == nil
 	if created {
-		fctx, fcancel := context.WithCancel(context.Background())
-		if s.cfg.Deadline > 0 {
-			fctx, fcancel = context.WithTimeout(context.Background(), s.cfg.Deadline)
-		}
-		fl = &flight{key: key, ctx: fctx, cancel: fcancel, done: make(chan struct{}), subs: make(map[int]*subscriber)}
-		s.flights[key] = fl
+		fl = s.newFlight(key)
 	} else {
 		s.dedups.Add(1)
 	}
-	sub.token = fl.nextSub
-	fl.nextSub++
-	fl.subs[sub.token] = sub
+	sub := fl.subscribe(onPartial)
 	s.mu.Unlock()
 	if created {
 		go s.runFlight(fl, datasetID, sk)
@@ -403,7 +458,20 @@ func (fl *flight) wait(ctx context.Context, s *Scheduler, sub *subscriber) (sket
 			delete(s.flights, fl.key)
 			fl.removed = true
 		}
-		fl.cancel()
+		if fl.batch != nil {
+			// Abandoning one batch member must not kill its siblings:
+			// mask the member out of the remaining scan and cancel the
+			// batch only when every member is gone. (A flight abandoned
+			// before batch formation has batch == nil; formBatch drops
+			// subscriber-less flights instead.)
+			fl.batch.mask.Disable(fl.memberIdx)
+			fl.batch.live--
+			if fl.batch.live == 0 {
+				fl.batch.cancel()
+			}
+		} else {
+			fl.cancel()
+		}
 	}
 	s.mu.Unlock()
 	return res, err

@@ -446,3 +446,84 @@ func TestRecoveredMiddleware(t *testing.T) {
 		t.Errorf("PanicsRecovered = %d, want 1", st.PanicsRecovered)
 	}
 }
+
+// strictWriter fails the test on a second WriteHeader, which net/http
+// would only log ("superfluous response.WriteHeader call").
+type strictWriter struct {
+	*httptest.ResponseRecorder
+	t       *testing.T
+	headers int
+}
+
+func (w *strictWriter) WriteHeader(code int) {
+	w.headers++
+	if w.headers > 1 {
+		w.t.Errorf("WriteHeader called %d times", w.headers)
+	}
+	w.ResponseRecorder.WriteHeader(code)
+}
+
+// TestRecoveredAfterResponseStarted pins the double-write regression: a
+// panic after the handler has begun its response must be counted but
+// must NOT write a second status line or append an error body to a
+// stream the client already consumed as a 200.
+func TestRecoveredAfterResponseStarted(t *testing.T) {
+	s := New(&fakeRunner{}, Config{})
+	h := s.Recovered(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial payload"))
+		panic("render bug mid-stream")
+	})
+	rec := &strictWriter{ResponseRecorder: httptest.NewRecorder(), t: t}
+	h(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d, want the already-sent 200", rec.Code)
+	}
+	if got := rec.Body.String(); got != "partial payload" {
+		t.Errorf("body = %q; error text appended after the response started", got)
+	}
+	if st := s.Stats(); st.PanicsRecovered != 1 {
+		t.Errorf("PanicsRecovered = %d, want 1", st.PanicsRecovered)
+	}
+}
+
+// TestRecoveredUsesTypedErrorPath: the clean-panic 500 goes through
+// WriteError, the one typed-error path every handler response takes
+// (the old path called raw http.Error, bypassing the contract).
+func TestRecoveredUsesTypedErrorPath(t *testing.T) {
+	s := New(&fakeRunner{}, Config{})
+	h := s.Recovered(func(w http.ResponseWriter, r *http.Request) {
+		panic("early bug") // nothing written yet: full 500 owed
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "early bug") {
+		t.Errorf("body %q does not name the panic", rec.Body.String())
+	}
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Errorf("Retry-After on a 500 = %q, want unset", got)
+	}
+}
+
+// TestRecoveredFlushPassthrough: wrapping must not hide the underlying
+// writer's http.Flusher from streaming handlers.
+func TestRecoveredFlushPassthrough(t *testing.T) {
+	s := New(&fakeRunner{}, Config{})
+	flushed := false
+	h := s.Recovered(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("wrapped writer lost http.Flusher")
+		}
+		w.Write([]byte("x"))
+		f.Flush()
+		flushed = true
+	})
+	h(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+	if !flushed {
+		t.Error("handler never reached Flush")
+	}
+}

@@ -80,6 +80,7 @@ const (
 	tagBottomKSet   = 11
 	tagCoMoments    = 12
 	tagTableMeta    = 13
+	tagMultiResult  = 14
 )
 
 // Sketch codec tags (a separate tag space from results).
@@ -100,6 +101,7 @@ const (
 	tagDistinctBottomKSketch  = 14
 	tagPCASketch              = 15
 	tagMetaSketch             = 16
+	tagMultiSketch            = 17
 )
 
 var (

@@ -79,7 +79,23 @@ func testInstances(seed uint64, info table.GenInfo) []Sketch {
 		&DistinctBottomKSketch{Col: "gs", K: 16},
 		&PCASketch{Cols: []string{"gd", "gi"}, Rate: 1},
 		&MetaSketch{},
+		mustMulti(
+			&HistogramSketch{Col: "gi", Buckets: iB},
+			&MisraGriesSketch{Col: "gs", K: 7},
+			&SampledHistogramSketch{Col: "gd", Buckets: dB(8), Rate: 0.5, Seed: seed ^ 8},
+			&RangeSketch{Col: "gt"},
+		),
 	}
+}
+
+// mustMulti builds a MultiSketch instance or panics; test instances are
+// static and always valid.
+func mustMulti(members ...Sketch) *MultiSketch {
+	ms, err := NewMultiSketch(members...)
+	if err != nil {
+		panic(err)
+	}
+	return ms
 }
 
 // TestResultCodecRoundTrip runs every wire sketch over randomized

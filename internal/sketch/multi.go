@@ -1,0 +1,473 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/table"
+	"repro/internal/wire"
+)
+
+// MultiSketch is the scan-batching composite: it wraps N member
+// sketches so one leaf pass over a table feeds all N. The engine sees a
+// single sketch whose accumulator folds every chunk into every member's
+// own accumulator, whose declared columns are the union of the members'
+// columns (acquired once per chunk), and whose summaries are
+// member-wise vectors demultiplexed by the serving layer.
+//
+// Bit-identity contract: for any member that does not implement
+// WholePartition, the engine's task geometry (chunk boundaries, chunk
+// table IDs, static worker assignment, merge-tree shape) is independent
+// of the sketch being run — so each member's slot of the batched result
+// is bit-for-bit the result of running that member alone under the same
+// configuration. Per-chunk sampling seeds derive from the chunk table
+// ID (PartitionSeed), which batching does not change, so sampled
+// members stay deterministic too. WholePartition members would change
+// the geometry for everyone and are therefore rejected.
+//
+// MultiSketch is deliberately not Cacheable: the member set of a batch
+// is an accident of arrival timing, so a combined cache entry would
+// almost never be hit again — members are cached (and deduplicated)
+// individually by the layers that own them.
+type MultiSketch struct {
+	Sketches []Sketch
+
+	// mask optionally disables members mid-run (per-member cancellation
+	// in a batch). Local-only serving-layer state: it is not part of the
+	// sketch's configuration, never serializes (codec and gob both skip
+	// it), and is nil after a wire transfer — remote workers keep feeding
+	// every member, and cancellation there only stops result delivery.
+	mask *MemberMask
+}
+
+// MultiResult is the member-wise result vector of a MultiSketch;
+// Members is index-aligned with MultiSketch.Sketches.
+type MultiResult struct {
+	Members []Result
+}
+
+// NewMultiSketch validates and builds a batch over members: at least
+// one member, no WholePartition members (they would change every
+// member's scan geometry and break bit-identity), and no nesting.
+func NewMultiSketch(members ...Sketch) (*MultiSketch, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("sketch: MultiSketch needs at least one member")
+	}
+	for i, m := range members {
+		if m == nil {
+			return nil, fmt.Errorf("sketch: MultiSketch member %d is nil", i)
+		}
+		if _, ok := m.(WholePartition); ok {
+			return nil, fmt.Errorf("sketch: MultiSketch member %d (%s) demands whole partitions; batching it would change the scan geometry of every member", i, m.Name())
+		}
+		if _, ok := m.(*MultiSketch); ok {
+			return nil, fmt.Errorf("sketch: MultiSketch member %d is itself a MultiSketch", i)
+		}
+	}
+	return &MultiSketch{Sketches: members}, nil
+}
+
+// MemberMask is a shared, concurrency-safe set of disabled member
+// indices. The serving layer hands one mask to a batch; disabling a
+// member makes every local accumulator skip it from the next chunk on.
+type MemberMask struct {
+	off []atomic.Bool
+}
+
+// NewMemberMask returns a mask for n members, all enabled.
+func NewMemberMask(n int) *MemberMask {
+	return &MemberMask{off: make([]atomic.Bool, n)}
+}
+
+// Disable marks member i disabled; it is safe to call concurrently with
+// a running scan.
+func (m *MemberMask) Disable(i int) {
+	if m != nil && i >= 0 && i < len(m.off) {
+		m.off[i].Store(true)
+	}
+}
+
+// Disabled reports whether member i is disabled; a nil mask disables
+// nothing.
+func (m *MemberMask) Disabled(i int) bool {
+	return m != nil && i >= 0 && i < len(m.off) && m.off[i].Load()
+}
+
+// SetMask installs the (local-only) member skip mask; see the mask
+// field's comment for its semantics.
+func (s *MultiSketch) SetMask(m *MemberMask) { s.mask = m }
+
+// Name implements Sketch.
+func (s *MultiSketch) Name() string {
+	names := make([]string, len(s.Sketches))
+	for i, m := range s.Sketches {
+		names[i] = m.Name()
+	}
+	return "multi[" + strings.Join(names, "; ") + "]"
+}
+
+// Zero implements Sketch: the member-wise vector of zeros.
+func (s *MultiSketch) Zero() Result {
+	members := make([]Result, len(s.Sketches))
+	for i, m := range s.Sketches {
+		members[i] = m.Zero()
+	}
+	return &MultiResult{Members: members}
+}
+
+// Summarize implements Sketch: each enabled member summarizes the same
+// partition; a disabled member contributes its Zero.
+func (s *MultiSketch) Summarize(t *table.Table) (Result, error) {
+	members := make([]Result, len(s.Sketches))
+	for i, m := range s.Sketches {
+		if s.mask.Disabled(i) {
+			members[i] = m.Zero()
+			continue
+		}
+		r, err := m.Summarize(t)
+		if err != nil {
+			return nil, fmt.Errorf("member %d (%s): %w", i, m.Name(), err)
+		}
+		members[i] = r
+	}
+	return &MultiResult{Members: members}, nil
+}
+
+// Merge implements Sketch member-wise.
+func (s *MultiSketch) Merge(a, b Result) (Result, error) {
+	ma, ok := a.(*MultiResult)
+	if !ok {
+		return nil, fmt.Errorf("sketch: MultiSketch.Merge: %T is not *MultiResult", a)
+	}
+	mb, ok := b.(*MultiResult)
+	if !ok {
+		return nil, fmt.Errorf("sketch: MultiSketch.Merge: %T is not *MultiResult", b)
+	}
+	if len(ma.Members) != len(s.Sketches) || len(mb.Members) != len(s.Sketches) {
+		return nil, fmt.Errorf("sketch: MultiSketch.Merge: member counts %d/%d, want %d",
+			len(ma.Members), len(mb.Members), len(s.Sketches))
+	}
+	out := make([]Result, len(s.Sketches))
+	for i, m := range s.Sketches {
+		r, err := m.Merge(ma.Members[i], mb.Members[i])
+		if err != nil {
+			return nil, fmt.Errorf("member %d (%s): %w", i, m.Name(), err)
+		}
+		out[i] = r
+	}
+	return &MultiResult{Members: out}, nil
+}
+
+// Columns implements ColumnUser: the union of the members' declared
+// columns, or nil — "provide every column" — when any member does not
+// declare its columns. Duplicates are fine; SketchColumns deduplicates.
+func (s *MultiSketch) Columns() []string {
+	var union []string
+	for _, m := range s.Sketches {
+		cols := SketchColumns(m)
+		if cols == nil {
+			return nil
+		}
+		union = append(union, cols...)
+	}
+	if union == nil {
+		union = []string{}
+	}
+	return union
+}
+
+// NewAccumulator implements AccumulatorSketch: one sub-state per member
+// (the member's own accumulator where it has one, a Summarize+Merge
+// fold otherwise), all fed from the same chunk table — the batched leaf
+// scan pays one column acquire and one memory pass per chunk for N
+// answers.
+func (s *MultiSketch) NewAccumulator() Accumulator {
+	members := make([]memberAcc, len(s.Sketches))
+	for i, m := range s.Sketches {
+		if as, ok := m.(AccumulatorSketch); ok {
+			members[i] = memberAcc{sk: m, acc: as.NewAccumulator()}
+		} else {
+			members[i] = memberAcc{sk: m, fold: m.Zero()}
+		}
+	}
+	return &multiAccumulator{ms: s, members: members}
+}
+
+// memberAcc is one member's fold state inside a multiAccumulator.
+type memberAcc struct {
+	sk   Sketch
+	acc  Accumulator // non-nil when the member has a fast-path fold
+	fold Result      // Merge-fold state otherwise
+}
+
+type multiAccumulator struct {
+	ms      *MultiSketch
+	members []memberAcc
+}
+
+func (a *multiAccumulator) Add(t *table.Table) error {
+	for i := range a.members {
+		if a.ms.mask.Disabled(i) {
+			continue
+		}
+		m := &a.members[i]
+		if m.acc != nil {
+			if err := m.acc.Add(t); err != nil {
+				return fmt.Errorf("member %d (%s): %w", i, m.sk.Name(), err)
+			}
+			continue
+		}
+		r, err := m.sk.Summarize(t)
+		if err != nil {
+			return fmt.Errorf("member %d (%s): %w", i, m.sk.Name(), err)
+		}
+		merged, err := m.sk.Merge(m.fold, r)
+		if err != nil {
+			return fmt.Errorf("member %d (%s): %w", i, m.sk.Name(), err)
+		}
+		m.fold = merged
+	}
+	return nil
+}
+
+func (a *multiAccumulator) Snapshot() Result {
+	members := make([]Result, len(a.members))
+	for i := range a.members {
+		if a.members[i].acc != nil {
+			members[i] = a.members[i].acc.Snapshot()
+		} else {
+			members[i] = a.members[i].fold
+		}
+	}
+	return &MultiResult{Members: members}
+}
+
+func (a *multiAccumulator) Result() Result {
+	members := make([]Result, len(a.members))
+	for i := range a.members {
+		if a.members[i].acc != nil {
+			members[i] = a.members[i].acc.Result()
+		} else {
+			members[i] = a.members[i].fold
+		}
+	}
+	return &MultiResult{Members: members}
+}
+
+// --- wire codec ----------------------------------------------------------
+//
+// Members nest inside the MultiSketch frame: each slot is a has-codec
+// bool followed by either the member's registered tag+body or a gob
+// blob (the same fallback the frame layer uses for third-party types).
+// Nested multis are rejected at decode, which both mirrors the
+// NewMultiSketch contract and bounds decoder recursion on crafted
+// frames.
+
+func (s *MultiSketch) AppendWire(b []byte) []byte {
+	b = wire.AppendLen(b, len(s.Sketches), s.Sketches == nil)
+	for _, m := range s.Sketches {
+		if out, ok := AppendSketchWire(wire.AppendBool(b, true), m); ok {
+			b = out
+			continue
+		}
+		b = wire.AppendBool(b, false)
+		b = wire.AppendBytes(b, gobSketchBlob(m))
+	}
+	return b
+}
+
+func (s *MultiSketch) DecodeWire(b []byte) ([]byte, error) {
+	n, isNil, rest, err := wire.ConsumeLen(b, 2)
+	if err != nil {
+		return b, err
+	}
+	if isNil {
+		s.Sketches = nil
+		return rest, nil
+	}
+	members := make([]Sketch, 0, wire.PreallocLen(n))
+	for i := 0; i < n; i++ {
+		var hasCodec bool
+		hasCodec, rest, err = wire.ConsumeBool(rest)
+		if err != nil {
+			return b, err
+		}
+		var m Sketch
+		if hasCodec {
+			if len(rest) > 0 && rest[0] == tagMultiSketch {
+				return b, wire.Corruptf("nested MultiSketch")
+			}
+			m, rest, err = DecodeSketchWire(rest)
+			if err != nil {
+				return b, err
+			}
+		} else {
+			var blob []byte
+			blob, rest, err = wire.ConsumeBytes(rest)
+			if err != nil {
+				return b, err
+			}
+			var wrapped struct{ S Sketch }
+			if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&wrapped); err != nil {
+				return b, wire.Corruptf("MultiSketch member %d gob: %v", i, err)
+			}
+			m = wrapped.S
+		}
+		if _, ok := m.(*MultiSketch); ok {
+			return b, wire.Corruptf("nested MultiSketch")
+		}
+		if _, ok := m.(WholePartition); ok {
+			return b, wire.Corruptf("MultiSketch member %d demands whole partitions", i)
+		}
+		members = append(members, m)
+	}
+	s.Sketches = members
+	return rest, nil
+}
+
+func (r *MultiResult) AppendWire(b []byte) []byte {
+	b = wire.AppendLen(b, len(r.Members), r.Members == nil)
+	for _, m := range r.Members {
+		if out, ok := AppendResultWire(wire.AppendBool(b, true), m); ok {
+			b = out
+			continue
+		}
+		b = wire.AppendBool(b, false)
+		b = wire.AppendBytes(b, gobResultBlob(m))
+	}
+	return b
+}
+
+func (r *MultiResult) DecodeWire(b []byte) ([]byte, error) {
+	n, isNil, rest, err := wire.ConsumeLen(b, 2)
+	if err != nil {
+		return b, err
+	}
+	if isNil {
+		r.Members = nil
+		return rest, nil
+	}
+	members := make([]Result, 0, wire.PreallocLen(n))
+	for i := 0; i < n; i++ {
+		var hasCodec bool
+		hasCodec, rest, err = wire.ConsumeBool(rest)
+		if err != nil {
+			return b, err
+		}
+		var m Result
+		if hasCodec {
+			if len(rest) > 0 && rest[0] == tagMultiResult {
+				return b, wire.Corruptf("nested MultiResult")
+			}
+			m, rest, err = DecodeResultWire(rest)
+			if err != nil {
+				return b, err
+			}
+		} else {
+			var blob []byte
+			blob, rest, err = wire.ConsumeBytes(rest)
+			if err != nil {
+				return b, err
+			}
+			var wrapped struct{ R Result }
+			if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&wrapped); err != nil {
+				return b, wire.Corruptf("MultiResult member %d gob: %v", i, err)
+			}
+			m = wrapped.R
+		}
+		if _, ok := m.(*MultiResult); ok {
+			return b, wire.Corruptf("nested MultiResult")
+		}
+		members = append(members, m)
+	}
+	r.Members = members
+	return rest, nil
+}
+
+// gobSketchBlob / gobResultBlob encode a codec-less nested member
+// through gob, wrapped in a concrete struct so the interface value
+// inside resolves through the gob type registry. Encode errors are
+// programmer errors — the member's concrete type was never
+// gob-registered — and panic with the offending type; registry-codec
+// members never take this path.
+func gobSketchBlob(m Sketch) []byte {
+	var buf bytes.Buffer
+	wrapped := struct{ S Sketch }{m}
+	if err := gob.NewEncoder(&buf).Encode(&wrapped); err != nil {
+		panic(fmt.Sprintf("sketch: MultiSketch member not gob-registered: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func gobResultBlob(m Result) []byte {
+	var buf bytes.Buffer
+	wrapped := struct{ R Result }{m}
+	if err := gob.NewEncoder(&buf).Encode(&wrapped); err != nil {
+		panic(fmt.Sprintf("sketch: MultiResult member not gob-registered: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// --- oracle --------------------------------------------------------------
+
+// checkMultiOracle applies each member's own oracle contract to its
+// slot of the batched result.
+func checkMultiOracle(sk Sketch, parts []*table.Table, ref, got Result) error {
+	ms := sk.(*MultiSketch)
+	mref, ok := ref.(*MultiResult)
+	if !ok {
+		return fmt.Errorf("reference result is %T, want *MultiResult", ref)
+	}
+	mgot, ok := got.(*MultiResult)
+	if !ok {
+		return fmt.Errorf("result is %T, want *MultiResult", got)
+	}
+	if len(mref.Members) != len(ms.Sketches) || len(mgot.Members) != len(ms.Sketches) {
+		return fmt.Errorf("member counts %d/%d, want %d", len(mref.Members), len(mgot.Members), len(ms.Sketches))
+	}
+	for i, m := range ms.Sketches {
+		o, ok := OracleFor(m)
+		if !ok {
+			return fmt.Errorf("member %d (%s): no oracle", i, m.Name())
+		}
+		if err := o.CheckResult(m, parts, mref.Members[i], mgot.Members[i]); err != nil {
+			return fmt.Errorf("member %d (%s): %w", i, m.Name(), err)
+		}
+	}
+	return nil
+}
+
+// peerMultiOracle applies each member's same-geometry contract.
+func peerMultiOracle(sk Sketch, parts []*table.Table, a, b Result) error {
+	ms := sk.(*MultiSketch)
+	ma, ok := a.(*MultiResult)
+	if !ok {
+		return fmt.Errorf("peer result is %T, want *MultiResult", a)
+	}
+	mb, ok := b.(*MultiResult)
+	if !ok {
+		return fmt.Errorf("peer result is %T, want *MultiResult", b)
+	}
+	if len(ma.Members) != len(ms.Sketches) || len(mb.Members) != len(ms.Sketches) {
+		return fmt.Errorf("member counts %d/%d, want %d", len(ma.Members), len(mb.Members), len(ms.Sketches))
+	}
+	for i, m := range ms.Sketches {
+		o, ok := OracleFor(m)
+		if !ok {
+			return fmt.Errorf("member %d (%s): no oracle", i, m.Name())
+		}
+		if err := o.CheckPeer(m, parts, ma.Members[i], mb.Members[i]); err != nil {
+			return fmt.Errorf("member %d (%s): %w", i, m.Name(), err)
+		}
+	}
+	return nil
+}
+
+func init() {
+	RegisterSketchCodec(tagMultiSketch, func() WireSketch { return &MultiSketch{} })
+	RegisterResultCodec(tagMultiResult, func() WireResult { return &MultiResult{} })
+	RegisterOracle(&MultiSketch{}, Oracle{Check: checkMultiOracle, Peer: peerMultiOracle})
+}

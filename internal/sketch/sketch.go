@@ -139,13 +139,18 @@ type ColumnUser interface {
 
 // SketchColumns returns the deduplicated declared columns of sk, or
 // nil when sk does not declare them (callers must then provide every
-// column).
+// column). A ColumnUser whose Columns() returns nil is treated as
+// undeclared too — MultiSketch uses that to say "all columns" when any
+// member lacks a declaration.
 func SketchColumns(sk Sketch) []string {
 	cu, ok := sk.(ColumnUser)
 	if !ok {
 		return nil
 	}
 	cols := cu.Columns()
+	if cols == nil {
+		return nil
+	}
 	out := make([]string, 0, len(cols))
 	seen := make(map[string]bool, len(cols))
 	for _, c := range cols {

@@ -26,6 +26,7 @@ var wireSketches = []Sketch{
 	&DistinctBottomKSketch{},
 	&PCASketch{},
 	&MetaSketch{},
+	&MultiSketch{},
 }
 
 // WireSketches returns a copy of the shipped sketch prototypes.
@@ -56,6 +57,7 @@ func init() {
 	gob.Register(&BottomKSet{})
 	gob.Register(&CoMoments{})
 	gob.Register(&TableMeta{})
+	gob.Register(&MultiResult{})
 
 	// Sketches.
 	for _, s := range wireSketches {

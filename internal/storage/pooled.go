@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -72,6 +73,11 @@ func ParseByteSize(s string) (int64, error) {
 	n, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
 		return 0, fmt.Errorf("storage: bad byte size %q", orig)
+	}
+	// n*mult must not wrap: "9999999999G" silently became a negative
+	// budget (treated as unlimited) before this check.
+	if mult > 1 && (n > math.MaxInt64/mult || n < math.MinInt64/mult) {
+		return 0, fmt.Errorf("storage: byte size %q overflows int64", orig)
 	}
 	return n * mult, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -157,6 +158,11 @@ func TestParseByteSize(t *testing.T) {
 		{"256M", 256 << 20, false}, {"2G", 2 << 30, false}, {"x", 0, true},
 		{"256Mi", 256 << 20, false}, {"256MiB", 256 << 20, false},
 		{"64KB", 64 << 10, false}, {"2g", 2 << 30, false}, {"12Q", 0, true},
+		// Overflow: n*mult wrapping used to yield a silent negative
+		// budget. 8589934591G is the largest G value that still fits.
+		{"9999999999G", 0, true}, {"-9999999999G", 0, true},
+		{"8589934591G", 8589934591 << 30, false},
+		{"9223372036854775807", math.MaxInt64, false},
 	} {
 		got, err := ParseByteSize(tc.in)
 		if (err != nil) != tc.err || got != tc.want {

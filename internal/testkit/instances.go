@@ -72,5 +72,28 @@ func instances(seed uint64, info table.GenInfo) []sketch.Sketch {
 
 		// Another NextK anchored past the numeric midpoint.
 		&sketch.NextKSketch{Order: table.Asc("gd"), K: 15, From: table.Row{table.DoubleValue(mid)}},
+
+		// Scan batching: a MultiSketch whose members span the interesting
+		// merge semantics — an exact accumulator sketch, a
+		// merge-order-bounded one (Misra–Gries), a seeded sampled one, and
+		// a Merge-fold-only preparation sketch. Its oracle delegates to
+		// each member's own contract, so the batched composite rides every
+		// topology and wire path of the harness.
+		mustMulti(
+			&sketch.HistogramSketch{Col: "gi", Buckets: iBuckets},
+			&sketch.MisraGriesSketch{Col: "gs", K: 7},
+			&sketch.SampledHistogramSketch{Col: "gd", Buckets: dBuckets(8), Rate: 0.5, Seed: seed ^ 8},
+			&sketch.RangeSketch{Col: "gt"},
+		),
 	}
+}
+
+// mustMulti builds a MultiSketch instance or panics; harness instances
+// are statically valid.
+func mustMulti(members ...sketch.Sketch) *sketch.MultiSketch {
+	ms, err := sketch.NewMultiSketch(members...)
+	if err != nil {
+		panic(err)
+	}
+	return ms
 }

@@ -24,6 +24,7 @@ var (
 	pooledFlag   = flag.Int("testkit.pooledseeds", 2, "number of pooled column-store seeds to run")
 	failoverFlag = flag.Int("testkit.failoverseeds", 1, "number of replicated-failover battery seeds to run")
 	overloadFlag = flag.Int("testkit.overloadseeds", 1, "number of overload-battery seeds to run")
+	batchedFlag  = flag.Int("testkit.batchedseeds", 2, "number of scan-batching differential seeds to run")
 	baseFlag     = flag.Uint64("testkit.base", 1, "first seed of the window")
 )
 
@@ -74,6 +75,21 @@ func TestOverloadSchedules(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			if err := RunOverload(seed); err != nil {
 				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestOverloadSchedules/seed=%d$' -testkit.base=%d -testkit.overloadseeds=1", err, seed, seed)
+			}
+		})
+	}
+}
+
+// TestBatchedSeeds runs the scan-batching differential — pairs and
+// triples of harness sketches through MultiSketch on the reference,
+// parallel-engine, and scheduler-batched paths, every member demanded
+// bit-identical to its solo run — across its seed window.
+func TestBatchedSeeds(t *testing.T) {
+	for i := 0; i < *batchedFlag; i++ {
+		seed := *baseFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			if err := RunBatched(seed); err != nil {
+				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestBatchedSeeds/seed=%d$' -testkit.base=%d -testkit.batchedseeds=1", err, seed, seed)
 			}
 		})
 	}
