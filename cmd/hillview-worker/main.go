@@ -19,6 +19,8 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (-debug-addr)
 	"os"
 	"os/signal"
 	"time"
@@ -36,6 +38,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "leaf thread pool size (0 = all cores)")
 	window := flag.Duration("window", engine.DefaultAggregationWindow, "partial-result aggregation window")
 	budget := flag.String("pool-budget", "", "column pool byte budget, e.g. 256M (default $HILLVIEW_POOL_BUDGET; 0 = unlimited)")
+	debugAddr := flag.String("debug-addr", "", "debug listen address serving /debug/pprof (empty = disabled)")
 	flag.Parse()
 
 	budgetBytes := storage.PoolBudgetFromEnv()
@@ -47,6 +50,10 @@ func main() {
 		budgetBytes = b
 	}
 	pool := colstore.NewPool(budgetBytes)
+	if *debugAddr != "" {
+		go func() { log.Printf("hillview-worker: debug server: %v", http.ListenAndServe(*debugAddr, nil)) }()
+		log.Printf("hillview-worker: debug server (pprof) on %s", *debugAddr)
+	}
 
 	flights.Register()
 	cfg := engine.Config{Parallelism: *parallelism, AggregationWindow: *window}

@@ -71,6 +71,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (-debug-addr)
 	"strconv"
 	"strings"
 	"sync"
@@ -80,6 +81,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/engine"
 	"repro/internal/flights"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/serve"
 	"repro/internal/sketch"
@@ -98,6 +100,15 @@ type server struct {
 	dcache *storage.DataCache // nil in cluster mode
 	clu    *cluster.Cluster   // nil in in-process mode
 	views  *viewRegistry
+
+	// Observability: every subsystem's telemetry registers in reg (the
+	// /metrics endpoint renders it; handleStatus mirrors it per group
+	// section), tracer owns the finished-trace ring behind /api/trace/
+	// and the slow-query log.
+	reg         *obs.Registry
+	tracer      *obs.Tracer
+	httpReqs    *obs.Counter
+	httpLatency *obs.Histogram
 }
 
 func main() {
@@ -113,6 +124,8 @@ func main() {
 	maxResultRows := flag.Int("max-result-rows", serve.DefaultMaxResultRows, "per-query result-row budget for tabular pages (negative = unlimited)")
 	batchWindow := flag.Duration("batch-window", serve.DefaultBatchWindow, "scan-batching window: concurrent cacheable queries on one dataset within it share a single leaf pass (0 = disabled)")
 	maxViews := flag.Int("max-views", DefaultMaxViews, "derived views kept before LRU eviction (0 = unlimited)")
+	slowQuery := flag.Duration("slow-query", time.Second, "log one structured line per query slower than this (0 = disabled)")
+	debugAddr := flag.String("debug-addr", "", "debug listen address serving /debug/pprof and /metrics (empty = disabled)")
 	flag.Parse()
 
 	flights.Register()
@@ -159,39 +172,195 @@ func main() {
 		MaxResultRows: *maxResultRows,
 		BatchWindow:   *batchWindow,
 	}, *maxViews)
-	s.pool, s.dcache, s.clu = pool, dcache, clu
+	s.attachEnv(pool, dcache, clu)
+	s.tracer.SetSlowQuery(*slowQuery)
+	if *debugAddr != "" {
+		// The debug mux: net/http/pprof registered itself on the default
+		// mux via its import; /metrics rides along so operators scrape and
+		// profile on one out-of-band port.
+		http.HandleFunc("/metrics", s.handleMetrics)
+		go func() { log.Printf("hillview: debug server: %v", http.ListenAndServe(*debugAddr, nil)) }()
+		log.Printf("hillview: debug server (pprof, /metrics) on %s", *debugAddr)
+	}
 	sc := s.sched.Config()
-	log.Printf("hillview: admission %d in-flight + %d queued, deadline %v, view cap %d",
-		sc.MaxInFlight, sc.QueueDepth, sc.Deadline, *maxViews)
+	log.Printf("hillview: admission %d in-flight + %d queued, deadline %v, view cap %d, slow-query %v",
+		sc.MaxInFlight, sc.QueueDepth, sc.Deadline, *maxViews, *slowQuery)
 	log.Printf("hillview: listening on %s", *httpAddr)
 	log.Fatal(http.ListenAndServe(*httpAddr, s.mux()))
 }
 
 // newServer wires the scheduler between the spreadsheet and the root:
-// every vizketch the sheet runs goes through admission control.
+// every vizketch the sheet runs goes through admission control. All
+// environment-independent telemetry registers with the obs registry
+// here; attachEnv adds the groups whose subsystems depend on the
+// deployment mode (column pool, data cache, cluster, wire).
 func newServer(root *engine.Root, cfg serve.Config, maxViews int) *server {
 	sched := serve.New(root, cfg)
-	return &server{
-		sheet: spreadsheet.NewWithRunner(root, sched),
-		sched: sched,
-		views: newViewRegistry(maxViews, root.Drop),
+	s := &server{
+		sheet:  spreadsheet.NewWithRunner(root, sched),
+		sched:  sched,
+		views:  newViewRegistry(maxViews, root.Drop),
+		reg:    obs.NewRegistry(),
+		tracer: obs.NewTracer(0, time.Second, log.Printf),
+	}
+
+	hg := s.reg.Group("http", "http")
+	s.httpReqs = hg.Counter("requests", "HTTP requests on query endpoints")
+	s.httpLatency = hg.Histogram("request_duration", "HTTP request latency on query endpoints")
+
+	sg := s.reg.Group("serve", "serve")
+	stats := func(f func(serve.Stats) int64) func() int64 {
+		return func() int64 { return f(s.sched.Stats()) }
+	}
+	sg.GaugeFunc("in_flight", "queries executing now", stats(func(st serve.Stats) int64 { return st.InFlight }))
+	sg.GaugeFunc("queued", "queries waiting for a slot", stats(func(st serve.Stats) int64 { return st.Queued }))
+	sg.CounterFunc("admitted", "queries granted an execution slot", stats(func(st serve.Stats) int64 { return st.Admitted }))
+	sg.CounterFunc("shed", "queries rejected at admission", stats(func(st serve.Stats) int64 { return st.Shed }))
+	sg.CounterFunc("queue_timeouts", "queries whose deadline expired while queued", stats(func(st serve.Stats) int64 { return st.QueueTimeouts }))
+	sg.CounterFunc("deadline_exceeded", "queries whose deadline expired while executing", stats(func(st serve.Stats) int64 { return st.DeadlineExceeded }))
+	sg.CounterFunc("cancelled", "queries cancelled by their caller", stats(func(st serve.Stats) int64 { return st.Cancelled }))
+	sg.CounterFunc("panics_recovered", "query panics converted to errors", stats(func(st serve.Stats) int64 { return st.PanicsRecovered }))
+	sg.CounterFunc("dedup_joins", "queries joined to an identical in-flight execution", stats(func(st serve.Stats) int64 { return st.DedupJoins }))
+	sg.CounterFunc("execs", "underlying sketch executions", stats(func(st serve.Stats) int64 { return st.Execs }))
+	sg.CounterFunc("batches_formed", "scan batches formed", stats(func(st serve.Stats) int64 { return st.BatchesFormed }))
+	sg.CounterFunc("batch_members", "member queries across all batches", stats(func(st serve.Stats) int64 { return st.BatchMembers }))
+	sg.CounterFunc("scans_saved", "leaf passes avoided by batching", stats(func(st serve.Stats) int64 { return st.ScansSaved }))
+	sg.RegisterHistogram("query_duration", "end-to-end RunSketch latency", sched.LatencyHistogram())
+
+	eg := s.reg.Group("engine", "engine")
+	eg.CounterFunc("replays", "redo-log replay executions", root.ReplayCounter().Load)
+	eg.CounterFunc("partials_emitted", "partial results delivered engine-wide", engine.PartialsCounter().Load)
+
+	cg := s.reg.Group("computation_cache", "computationCache")
+	cg.CounterFunc("hits", "computation cache hits", root.Cache().HitCounter().Load)
+	cg.CounterFunc("misses", "computation cache misses", root.Cache().MissCounter().Load)
+	cg.GaugeFunc("entries", "computation cache entries", func() int64 { return int64(root.Cache().Len()) })
+
+	vg := s.reg.Group("views", "views")
+	vg.GaugeFunc("loaded", "loaded root views", func() int64 { l, _, _ := s.views.counts(); return int64(l) })
+	vg.GaugeFunc("derived", "derived views held", func() int64 { _, d, _ := s.views.counts(); return int64(d) })
+	vg.GaugeFunc("evicted", "derived views evicted by the cap", func() int64 { _, _, e := s.views.counts(); return int64(e) })
+
+	tg := s.reg.Group("traces", "traces")
+	tg.CounterFunc("started", "traces started at HTTP ingress", s.tracer.Started)
+	tg.CounterFunc("finished", "traces finished into the ring", s.tracer.Finished)
+	tg.CounterFunc("slow_queries", "slow-query log lines emitted", s.tracer.SlowQueries)
+	tg.GaugeFunc("ring", "finished traces held for /api/trace", func() int64 { return int64(s.tracer.RingLen()) })
+
+	return s
+}
+
+// attachEnv installs the deployment-dependent subsystems and registers
+// their telemetry: the in-process column pool and data cache, or the
+// cluster's wire and health counters. Any of the three may be nil.
+func (s *server) attachEnv(pool *colstore.Pool, dcache *storage.DataCache, clu *cluster.Cluster) {
+	s.pool, s.dcache, s.clu = pool, dcache, clu
+	if dcache != nil {
+		g := s.reg.Group("data_cache", "dataCache")
+		g.CounterFunc("hits", "raw-data cache hits", func() int64 { h, _, _ := dcache.Stats(); return h })
+		g.CounterFunc("misses", "raw-data cache misses", func() int64 { _, m, _ := dcache.Stats(); return m })
+		g.CounterFunc("purged", "raw-data cache purges", func() int64 { _, _, p := dcache.Stats(); return p })
+		g.GaugeFunc("columns", "raw-data cache resident columns", func() int64 { return int64(dcache.Len()) })
+	}
+	if pool != nil {
+		g := s.reg.Group("column_pool", "columnPool")
+		g.GaugeFunc("resident_bytes", "column pool resident bytes", func() int64 { return pool.Stats().Resident })
+		g.GaugeFunc("budget_bytes", "column pool byte budget", func() int64 { return pool.Stats().Budget })
+		g.GaugeFunc("columns", "columns resident in the pool", func() int64 { return int64(pool.Stats().Columns) })
+		g.GaugeFunc("pinned", "columns pinned by running scans", func() int64 { return int64(pool.Stats().Pinned) })
+		g.CounterFunc("hits", "column pool hits", func() int64 { return pool.Stats().Hits })
+		g.CounterFunc("misses", "column pool misses", func() int64 { return pool.Stats().Misses })
+		g.CounterFunc("evictions", "column pool evictions", func() int64 { return pool.Stats().Evictions })
+	}
+	if clu != nil {
+		wire := func(f func(cluster.WireStats) int64) func() int64 {
+			return func() int64 {
+				var sum int64
+				for _, ws := range clu.WireStats() {
+					sum += f(ws)
+				}
+				return sum
+			}
+		}
+		wg := s.reg.Group("wire", "wire")
+		wg.CounterFunc("bytes_in", "bytes received from workers", wire(func(ws cluster.WireStats) int64 { return ws.BytesIn }))
+		wg.CounterFunc("bytes_out", "bytes sent to workers", wire(func(ws cluster.WireStats) int64 { return ws.BytesOut }))
+		wg.CounterFunc("frames_in", "frames received from workers", wire(func(ws cluster.WireStats) int64 { return ws.FramesIn }))
+		wg.CounterFunc("frames_out", "frames sent to workers", wire(func(ws cluster.WireStats) int64 { return ws.FramesOut }))
+		wg.CounterFunc("encode_ns", "nanoseconds spent encoding frames", wire(func(ws cluster.WireStats) int64 { return ws.EncodeNS }))
+		wg.CounterFunc("decode_ns", "nanoseconds spent decoding frames", wire(func(ws cluster.WireStats) int64 { return ws.DecodeNS }))
+
+		g := s.reg.Group("cluster", "cluster")
+		g.GaugeFunc("groups", "partition groups", func() int64 { return int64(clu.Stats().Groups) })
+		g.GaugeFunc("replication", "replicas per group", func() int64 { return int64(clu.Stats().Replication) })
+		g.GaugeFunc("workers", "known workers", func() int64 { return int64(len(clu.Stats().Workers)) })
+		g.CounterFunc("retries", "failover retries", func() int64 { return clu.Stats().Retries })
+		g.CounterFunc("spec_launches", "speculative re-executions launched", func() int64 { return clu.Stats().SpecLaunches })
+		g.CounterFunc("spec_wins", "speculative attempts that won", func() int64 { return clu.Stats().SpecWins })
+		g.CounterFunc("groups_lost", "queries that lost a whole replica group", func() int64 { return clu.Stats().GroupsLost })
+		g.CounterFunc("reconnects", "worker reconnects", func() int64 { return clu.Stats().Reconnects })
+	}
+}
+
+// traced wraps a query endpoint with per-request tracing: the trace ID
+// arrives on X-Hillview-Trace (minted when absent), is echoed on the
+// response, rides the request context through every layer — scheduler,
+// engine, cluster wire — and the finished trace lands in the ring
+// behind /api/trace/<id>. Status and introspection endpoints stay
+// untraced.
+func (s *server) traced(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.httpReqs.Inc()
+		start := time.Now()
+		tr := s.tracer.Start(r.Header.Get("X-Hillview-Trace"))
+		w.Header().Set("X-Hillview-Trace", tr.ID())
+		sp := tr.StartSpan("http." + name)
+		h(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		sp.End()
+		tr.Finish(nil)
+		s.httpLatency.ObserveSince(start)
 	}
 }
 
 // mux registers the handlers, each wrapped so a panic in the handler
-// body (render bugs included) becomes that request's 500.
+// body (render bugs included) becomes that request's 500; query
+// endpoints are additionally wrapped with per-request tracing.
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/load", s.sched.Recovered(s.handleLoad))
-	mux.HandleFunc("/api/meta", s.sched.Recovered(s.handleMeta))
-	mux.HandleFunc("/api/table", s.sched.Recovered(s.handleTable))
-	mux.HandleFunc("/api/histogram", s.sched.Recovered(s.handleHistogram))
-	mux.HandleFunc("/api/heatmap", s.sched.Recovered(s.handleHeatmap))
-	mux.HandleFunc("/api/heavyhitters", s.sched.Recovered(s.handleHeavyHitters))
-	mux.HandleFunc("/api/filter", s.sched.Recovered(s.handleFilter))
+	query := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		return s.traced(name, s.sched.Recovered(h))
+	}
+	mux.HandleFunc("/api/load", query("load", s.handleLoad))
+	mux.HandleFunc("/api/meta", query("meta", s.handleMeta))
+	mux.HandleFunc("/api/table", query("table", s.handleTable))
+	mux.HandleFunc("/api/histogram", query("histogram", s.handleHistogram))
+	mux.HandleFunc("/api/heatmap", query("heatmap", s.handleHeatmap))
+	mux.HandleFunc("/api/heavyhitters", query("heavyhitters", s.handleHeavyHitters))
+	mux.HandleFunc("/api/filter", query("filter", s.handleFilter))
 	mux.HandleFunc("/api/status", s.sched.Recovered(s.handleStatus))
-	mux.HandleFunc("/api/svg/histogram", s.sched.Recovered(s.handleHistogramSVG))
+	mux.HandleFunc("/api/svg/histogram", query("svg.histogram", s.handleHistogramSVG))
+	mux.HandleFunc("/api/trace/", s.sched.Recovered(s.handleTrace))
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// handleTrace serves one finished trace from the ring as JSON.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/api/trace/")
+	rec, ok := s.tracer.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no finished trace %q (ring holds the last %d)", id, obs.DefaultTraceRing), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, rec)
+}
+
+// handleMetrics renders every registered metric as Prometheus text.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		log.Printf("hillview: metrics: %v", err)
+	}
 }
 
 // --- View registry with a derived-view cap ---
@@ -307,6 +476,17 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"views": map[string]any{
 			"loaded": loaded, "derived": derived, "evicted": evicted,
 		},
+		"engine": map[string]any{
+			"replays": root.Replays(), "partialsEmitted": engine.PartialsCounter().Load(),
+		},
+		"http": map[string]any{
+			"requests":  s.httpReqs.Load(),
+			"latencyMs": map[string]any{"p50": msQ(s.httpLatency, 0.5), "p95": msQ(s.httpLatency, 0.95), "p99": msQ(s.httpLatency, 0.99)},
+		},
+		"traces": map[string]any{
+			"started": s.tracer.Started(), "finished": s.tracer.Finished(),
+			"slowQueries": s.tracer.SlowQueries(), "ring": s.tracer.RingLen(),
+		},
 	}
 	if s.dcache != nil {
 		dh, dm, dp := s.dcache.Stats()
@@ -357,6 +537,11 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) view(r *http.Request) (*spreadsheet.View, error) {
 	return s.views.get(r.URL.Query().Get("view"))
+}
+
+// msQ renders a latency histogram quantile in (fractional) milliseconds.
+func msQ(h *obs.Histogram, q float64) float64 {
+	return float64(h.Quantile(q)) / 1e6
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

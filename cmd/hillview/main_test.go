@@ -29,7 +29,7 @@ func testServerViews(t *testing.T, maxViews int) *server {
 	loader := storage.NewLoaderWith(engine.Config{AggregationWindow: -1},
 		storage.LoaderOpts{Pool: pool, Cache: dcache})
 	s := newServer(engine.NewRoot(loader), serve.Config{Deadline: -1}, maxViews)
-	s.pool, s.dcache = pool, dcache
+	s.attachEnv(pool, dcache, nil)
 	return s
 }
 
@@ -130,7 +130,7 @@ func TestStatusEndpointClusterWire(t *testing.T) {
 	}
 	defer clu.Close()
 	s := newServer(engine.NewRoot(clu.Loader()), serve.Config{Deadline: -1}, 0)
-	s.clu = clu
+	s.attachEnv(nil, nil, clu)
 	if rec, _ := get(t, s.handleLoad, "/api/load?name=fl&source=flights:rows=2000,parts=2,seed=1"); rec.Code != http.StatusOK {
 		t.Fatalf("load: %d %s", rec.Code, rec.Body.String())
 	}

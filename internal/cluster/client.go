@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -297,8 +298,15 @@ func (c *Client) Drop(ctx context.Context, datasetID string) error {
 // Sketch runs a sketch on the worker's dataset, forwarding streamed
 // partials and returning the final summary.
 func (c *Client) Sketch(ctx context.Context, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (sketch.Result, error) {
+	// When the context carries a trace, the request ships the trace ID so
+	// the worker records its own span breakdown; the final frame carries
+	// those spans back and they are stitched under this wire.call span.
+	tr := obs.TraceFrom(ctx)
+	sp := tr.StartSpan("wire.call")
+	env := &Envelope{Kind: MsgSketch, DatasetID: datasetID, Sketch: sk,
+		NoPartials: onPartial == nil, TraceID: tr.ID()}
 	var final sketch.Result
-	err := c.call(ctx, &Envelope{Kind: MsgSketch, DatasetID: datasetID, Sketch: sk, NoPartials: onPartial == nil}, func(e *Envelope) (bool, error) {
+	err := c.call(ctx, env, func(e *Envelope) (bool, error) {
 		switch e.Kind {
 		case MsgPartial:
 			if onPartial != nil {
@@ -307,10 +315,12 @@ func (c *Client) Sketch(ctx context.Context, datasetID string, sk sketch.Sketch,
 			return false, nil
 		case MsgFinal:
 			final = e.Result
+			tr.Stitch(sp.Offset(), e.Spans)
 			return true, nil
 		default:
 			return false, fmt.Errorf("cluster: unexpected frame kind %d", e.Kind)
 		}
 	})
+	sp.EndNote(c.addr)
 	return final, err
 }

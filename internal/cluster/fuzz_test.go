@@ -8,6 +8,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sketch"
 	"repro/internal/table"
 	"repro/internal/wire"
@@ -115,6 +116,18 @@ func FuzzFrame(f *testing.F) {
 	f.Add(append(hdr[:], crafted...))
 	// A gob fallback envelope.
 	f.Add(frameBytes(f, &Envelope{ReqID: 7, Kind: MsgMap, DatasetID: "d", NewID: "e", Op: unregisteredOp{}}))
+	// Traced frames: a request carrying just the trace ID and a final
+	// carrying a stitched span list, so the flagTrace tail parser is in
+	// the corpus; plus the crafted tail claiming 2^40 spans over no
+	// payload (the trace-section OOM probe).
+	f.Add(frameBytes(f,
+		&Envelope{ReqID: 8, Kind: MsgSketch, DatasetID: "d", TraceID: "00aa11bb22cc33dd",
+			Sketch: &sketch.HistogramSketch{Col: "x", Buckets: sketch.NumericBuckets(table.KindDouble, 0, 1, 4)}},
+		&Envelope{ReqID: 8, Kind: MsgFinal, TraceID: "00aa11bb22cc33dd",
+			Result: &sketch.Histogram{Counts: []int64{1}, SampleRate: 1}, Done: 1, Total: 1,
+			Spans: []obs.Span{{Name: "worker.sketch", Start: 1000, Dur: 2000, Note: "n"}}},
+	))
+	f.Add(craftedTraceFrame())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fc := newFrameConn(struct {
 			io.Reader

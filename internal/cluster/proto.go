@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 	"repro/internal/wire"
 )
@@ -81,6 +82,14 @@ type Envelope struct {
 	NumLeaves  int           // MsgOK for Load/Map
 	Err        string        // MsgError
 	ErrMissing bool          // MsgError: dataset was soft-state and is gone
+
+	// Tracing (flagTrace, appended after the body so old peers decode
+	// flag-unset frames unchanged). TraceID rides MsgSketch to carry
+	// the root's trace to the worker; Spans ride MsgFinal back with
+	// the worker-side stage breakdown, which the client stitches into
+	// the root trace.
+	TraceID string     // MsgSketch, MsgFinal
+	Spans   []obs.Span // MsgFinal
 }
 
 // Binary frame layout (after the 4-byte big-endian outer length):
@@ -127,6 +136,11 @@ const (
 	flagNoPartials byte = 1 << 1
 	// flagErrMissing carries Envelope.ErrMissing on MsgError.
 	flagErrMissing byte = 1 << 2
+	// flagTrace marks a frame carrying an appended trace section
+	// (TraceID + spans) after its body. The section is append-only:
+	// frames without the flag are byte-identical to the pre-trace
+	// format, so peers that never set it interoperate unchanged.
+	flagTrace byte = 1 << 3
 )
 
 // maxFrameSize bounds a frame; summaries are small by construction
@@ -317,9 +331,14 @@ func (c *frameConn) appendFrameLocked(buf []byte, env *Envelope) ([]byte, error)
 	if env.ErrMissing {
 		flags |= flagErrMissing
 	}
+	traced := env.TraceID != "" || len(env.Spans) > 0
+	if traced {
+		flags |= flagTrace
+	}
 	headerAt := len(buf)
 	buf = append(buf, frameMagic, frameVersion, byte(env.Kind), flags)
 	buf = wire.AppendUvarint(buf, env.ReqID)
+	var err error
 	switch env.Kind {
 	case MsgLoad:
 		buf = wire.AppendString(buf, env.DatasetID)
@@ -346,7 +365,10 @@ func (c *frameConn) appendFrameLocked(buf []byte, env *Envelope) ([]byte, error)
 	case MsgPartial, MsgFinal:
 		buf = wire.AppendUvarint(buf, uint64(env.Done))
 		buf = wire.AppendUvarint(buf, uint64(env.Total))
-		return c.appendResultLocked(buf, headerAt, env)
+		buf, err = c.appendResultLocked(buf, headerAt, env)
+		if err != nil {
+			return buf, err
+		}
 	case MsgError:
 		// An error ends the request's partial stream just as a final
 		// does; retire its delta chain or every cancelled query (the
@@ -356,7 +378,74 @@ func (c *frameConn) appendFrameLocked(buf []byte, env *Envelope) ([]byte, error)
 	default:
 		return buf, fmt.Errorf("cluster: encode: unknown kind %d", env.Kind)
 	}
+	if traced {
+		buf = appendTraceSection(buf, env)
+	}
 	return buf, nil
+}
+
+// appendTraceSection writes the flagTrace tail: the trace ID plus the
+// span list (name, start offset, duration — nanoseconds as uvarints —
+// and note per span).
+func appendTraceSection(buf []byte, env *Envelope) []byte {
+	buf = wire.AppendString(buf, env.TraceID)
+	buf = wire.AppendUvarint(buf, uint64(len(env.Spans)))
+	for _, sp := range env.Spans {
+		buf = wire.AppendString(buf, sp.Name)
+		buf = wire.AppendUvarint(buf, uint64(max64(sp.Start.Nanoseconds(), 0)))
+		buf = wire.AppendUvarint(buf, uint64(max64(sp.Dur.Nanoseconds(), 0)))
+		buf = wire.AppendString(buf, sp.Note)
+	}
+	return buf
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// consumeTraceSection parses the flagTrace tail into env. The span
+// count is validated against the bytes remaining before any allocation
+// (each span costs at least four bytes on the wire) — the HVC-reader
+// hardening rule applied to the trace field.
+func consumeTraceSection(env *Envelope, b []byte) ([]byte, error) {
+	var err error
+	if env.TraceID, b, err = wire.ConsumeString(b); err != nil {
+		return b, err
+	}
+	n, b, err := wire.ConsumeUvarint(b)
+	if err != nil {
+		return b, err
+	}
+	if n > uint64(len(b)) {
+		return b, wire.Corruptf("trace section claims %d spans over %d bytes", n, len(b))
+	}
+	if n == 0 {
+		return b, nil
+	}
+	env.Spans = make([]obs.Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var sp obs.Span
+		var start, dur uint64
+		if sp.Name, b, err = wire.ConsumeString(b); err != nil {
+			return b, err
+		}
+		if start, b, err = wire.ConsumeUvarint(b); err != nil {
+			return b, err
+		}
+		if dur, b, err = wire.ConsumeUvarint(b); err != nil {
+			return b, err
+		}
+		if sp.Note, b, err = wire.ConsumeString(b); err != nil {
+			return b, err
+		}
+		sp.Start = time.Duration(start)
+		sp.Dur = time.Duration(dur)
+		env.Spans = append(env.Spans, sp)
+	}
+	return b, nil
 }
 
 // appendResultLocked writes the seq + result payload of a partial or
@@ -598,6 +687,12 @@ func (c *frameConn) decodeFrame(payload []byte) (*Envelope, error) {
 		env.Err, b, err = wire.ConsumeString(b)
 	default:
 		return nil, fmt.Errorf("cluster: decode: unknown frame kind %d", kind)
+	}
+	if err == nil && flags&flagTrace != 0 {
+		// The trace section sits between the body and the checksum; it
+		// must be consumed here or the trailing-bytes check below would
+		// reject every traced frame.
+		b, err = consumeTraceSection(env, b)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("cluster: decode: %w", err)

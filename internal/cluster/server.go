@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Worker is a Hillview worker server: it owns a soft-state registry of
@@ -281,6 +282,15 @@ func (w *Worker) handle(ctx context.Context, fc *frameConn, env *Envelope) {
 			fail(err)
 			return
 		}
+		// A traced request gets a worker-side trace: the engine records
+		// its scan/merge spans into it through the context, and the
+		// whole breakdown ships back on the final frame for the root to
+		// stitch under its wire.call span.
+		var tr *obs.Trace
+		if env.TraceID != "" {
+			tr = obs.NewTrace(env.TraceID)
+			ctx = obs.WithTrace(ctx, tr)
+		}
 		var onPartial engine.PartialFunc
 		if !env.NoPartials {
 			onPartial = func(p engine.Partial) {
@@ -290,12 +300,17 @@ func (w *Worker) handle(ctx context.Context, fc *frameConn, env *Envelope) {
 				}
 			}
 		}
+		sp := tr.StartSpan("worker.sketch")
 		res, err := ds.Sketch(ctx, env.Sketch, onPartial)
+		sp.End()
 		if err != nil {
 			fail(err)
 			return
 		}
-		reply(&Envelope{Kind: MsgFinal, Result: res, Done: ds.NumLeaves(), Total: ds.NumLeaves()})
+		reply(&Envelope{
+			Kind: MsgFinal, Result: res, Done: ds.NumLeaves(), Total: ds.NumLeaves(),
+			TraceID: env.TraceID, Spans: tr.Spans(),
+		})
 
 	case MsgDrop:
 		w.mu.Lock()

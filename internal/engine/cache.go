@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -17,8 +18,8 @@ type Cache struct {
 	max     int
 	entries map[string]*list.Element
 	order   *list.List // front = most recent
-	hits    int64
-	misses  int64
+	hits    obs.Counter
+	misses  obs.Counter
 }
 
 type cacheEntry struct {
@@ -58,11 +59,11 @@ func (c *Cache) Get(key string) (sketch.Result, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	c.hits++
+	c.hits.Inc()
 	return el.Value.(*cacheEntry).res, true
 }
 
@@ -100,10 +101,14 @@ func (c *Cache) InvalidateDataset(datasetID string) {
 
 // Stats returns cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
+
+// HitCounter exposes the hit counter for obs registration.
+func (c *Cache) HitCounter() *obs.Counter { return &c.hits }
+
+// MissCounter exposes the miss counter for obs registration.
+func (c *Cache) MissCounter() *obs.Counter { return &c.misses }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -134,9 +135,22 @@ func SketchReplicated(ctx context.Context, sk sketch.Sketch, onPartial PartialFu
 	}
 	th := newThrottle(cfg.window())
 	tracker := newLatencyTracker()
+	tr := obs.TraceFrom(ctx)
 	event := func(kind FailoverEventKind, rng PartitionRange, replica string, err error) {
 		if opts.OnEvent != nil {
 			opts.OnEvent(FailoverEvent{Kind: kind, Range: rng, Replica: replica, Err: err})
+		}
+		if tr != nil {
+			name := "replica.failover"
+			switch kind {
+			case EventSpeculate:
+				name = "replica.speculate"
+			case EventSpecWin:
+				name = "replica.spec_win"
+			case EventGroupLost:
+				name = "replica.group_lost"
+			}
+			tr.Annotate(name, rng.String()+" "+replica)
 		}
 	}
 

@@ -8,9 +8,24 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sketch"
 	"repro/internal/table"
 )
+
+// chunkSampleEvery is the scan.chunk span sampling rate: one chunk in
+// this many gets a span on a traced query, enough to show per-chunk
+// cost without letting a million-chunk scan flood the span budget.
+const chunkSampleEvery = 16
+
+// partialsEmitted counts partial-result deliveries engine-wide (solo
+// and pooled paths alike); the hillview binary registers it with the
+// obs registry.
+var partialsEmitted obs.Counter
+
+// PartialsCounter exposes the engine-wide partial-emission counter for
+// obs registration.
+func PartialsCounter() *obs.Counter { return &partialsEmitted }
 
 // LocalDataSet holds a dataset's micropartitions on this machine and
 // summarizes them with a bounded thread pool (paper §5.3: "to
@@ -335,6 +350,7 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 		if err != nil {
 			return // partial emission is best-effort
 		}
+		partialsEmitted.Inc()
 		onPartial(Partial{Result: snap, Done: dn, Total: total})
 	}
 
@@ -347,6 +363,8 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 	// context is cancelled.
 	cancelProbe := func() bool { return ctx.Err() != nil }
 
+	tr := obs.TraceFrom(ctx)
+	leafSp := tr.StartSpan("scan.leaf")
 	var (
 		cursor atomic.Int64
 		wg     sync.WaitGroup
@@ -395,6 +413,15 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 					return
 				}
 				tk := tasks[i]
+				// Sampled chunk spans: on a traced query, one chunk in
+				// chunkSampleEvery records its fold so the trace shows
+				// per-chunk cost without span-budget blowup. tr is nil on
+				// untraced queries, so this is one modulo on the hot path.
+				traceChunk := tr != nil && i%chunkSampleEvery == 0
+				var chunkSp obs.SpanHandle
+				if traceChunk {
+					chunkSp = tr.StartSpan("scan.chunk")
+				}
 				t, release, err := d.taskTable(tk, cols)
 				if err == nil {
 					err = w.add(sk, t.WithCancel(cancelProbe))
@@ -404,6 +431,9 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 					if release != nil {
 						release()
 					}
+				}
+				if traceChunk {
+					chunkSp.EndNote("chunk=" + strconv.Itoa(i))
 				}
 				if err == nil && ctx.Err() != nil {
 					// The probe may have truncated this chunk's scan
@@ -432,6 +462,7 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 		}(wi, w)
 	}
 	wg.Wait()
+	leafSp.EndNote("chunks=" + strconv.Itoa(len(tasks)) + " workers=" + strconv.Itoa(nw))
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -442,7 +473,9 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 	for i, w := range workers {
 		results[i] = w.result()
 	}
+	mergeSp := tr.StartSpan("merge.tree")
 	final, err := sketch.MergeTree(sk, results...)
+	mergeSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -455,6 +488,7 @@ func (d *LocalDataSet) Sketch(ctx context.Context, sk sketch.Sketch, onPartial P
 	// asynchronous emitters.)
 	if onPartial != nil {
 		emitMu.Lock()
+		partialsEmitted.Inc()
 		onPartial(Partial{Result: final, Done: total, Total: total})
 		emitMu.Unlock()
 	}
@@ -517,6 +551,7 @@ func (d *LocalDataSet) Map(op MapOp, newID string) (IDataSet, error) {
 
 func emit(f PartialFunc, p Partial) {
 	if f != nil {
+		partialsEmitted.Inc()
 		f(p)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -51,7 +52,7 @@ type Root struct {
 	log      []Op
 	byID     map[string]int // dataset ID -> index in log
 	cache    *Cache
-	replays  int64 // number of replay executions (for tests/metrics)
+	replays  obs.Counter // number of replay executions (for tests/metrics)
 }
 
 // NewRoot builds a root node with the given storage loader.
@@ -68,11 +69,10 @@ func NewRoot(loader Loader) *Root {
 func (r *Root) Cache() *Cache { return r.cache }
 
 // Replays returns how many redo-log replays have executed.
-func (r *Root) Replays() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.replays
-}
+func (r *Root) Replays() int64 { return r.replays.Load() }
+
+// ReplayCounter exposes the replay counter for obs registration.
+func (r *Root) ReplayCounter() *obs.Counter { return &r.replays }
 
 // Log returns a copy of the redo log.
 func (r *Root) Log() []Op {
@@ -158,8 +158,8 @@ func (r *Root) Get(id string) (IDataSet, error) {
 		return nil, fmt.Errorf("%w: %q was never defined", ErrMissingDataset, id)
 	}
 	op := r.log[idx]
-	r.replays++
 	r.mu.Unlock()
+	r.replays.Inc()
 
 	var (
 		ds  IDataSet
@@ -218,9 +218,11 @@ func (r *Root) DropAll() {
 // RunSketch executes a sketch over a dataset with computation caching
 // and missing-dataset recovery. Partial results stream to onPartial.
 func (r *Root) RunSketch(ctx context.Context, datasetID string, sk sketch.Sketch, onPartial PartialFunc) (sketch.Result, error) {
+	tr := obs.TraceFrom(ctx)
 	key, cacheable := Key(datasetID, sk)
 	if cacheable {
 		if res, ok := r.cache.Get(key); ok {
+			tr.Annotate("engine.cache_hit", "")
 			emit(onPartial, Partial{Result: res, Done: 1, Total: 1})
 			return res, nil
 		}
@@ -232,6 +234,7 @@ func (r *Root) RunSketch(ctx context.Context, datasetID string, sk sketch.Sketch
 	res, err := ds.Sketch(ctx, sk, onPartial)
 	if errors.Is(err, ErrMissingDataset) {
 		// A worker lost its soft state mid-query: rebuild and retry once.
+		tr.Annotate("engine.replay_retry", datasetID)
 		r.Drop(datasetID)
 		ds, err = r.Get(datasetID)
 		if err != nil {

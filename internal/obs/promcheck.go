@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// ValidatePrometheusText is a minimal parser for the text exposition
+// format, shared with the server-level /metrics smoke test: every
+// sample line must parse, every metric must follow its # TYPE line,
+// histogram buckets must be cumulative with +Inf == _count.
+func ValidatePrometheusText(text string) error {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	types := map[string]string{}
+	bucketCum := map[string]int64{}
+	counts := map[string]int64{}
+	infs := map[string]int64{}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			f := strings.Fields(line)
+			if len(f) < 4 || (f[1] != "HELP" && f[1] != "TYPE") {
+				return fmt.Errorf("bad comment line %q", line)
+			}
+			if f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("no value on line %q", line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		var val float64
+		if _, err := fmt.Sscanf(valStr, "%g", &val); err != nil {
+			return fmt.Errorf("bad value on line %q: %v", line, err)
+		}
+		base := name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			base = name[:i]
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("unterminated label set %q", name)
+			}
+		}
+		switch {
+		case strings.HasSuffix(base, "_bucket"):
+			h := strings.TrimSuffix(base, "_bucket")
+			if types[h] != "histogram" {
+				return fmt.Errorf("%s has no histogram TYPE", name)
+			}
+			if int64(val) < bucketCum[h] {
+				return fmt.Errorf("non-cumulative bucket %q", line)
+			}
+			bucketCum[h] = int64(val)
+			if strings.Contains(name, `le="+Inf"`) {
+				infs[h] = int64(val)
+			}
+		case strings.HasSuffix(base, "_count"):
+			counts[strings.TrimSuffix(base, "_count")] = int64(val)
+		case strings.HasSuffix(base, "_sum"):
+		default:
+			if types[base] == "" {
+				return fmt.Errorf("sample %q has no TYPE", name)
+			}
+		}
+	}
+	for h, n := range infs {
+		if counts[h] != n {
+			return fmt.Errorf("histogram %s: +Inf %d != count %d", h, n, counts[h])
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -47,14 +48,20 @@ type batchExec struct {
 // joinBatch subscribes a cacheable query to its dataset's open batching
 // window, dedup-joining an existing flight for the same key when one is
 // already registered (pending or executing).
-func (s *Scheduler) joinBatch(key, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (*flight, *subscriber) {
+func (s *Scheduler) joinBatch(tr *obs.Trace, key, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (*flight, *subscriber) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if fl := s.flights[key]; fl != nil {
 		s.dedups.Add(1)
+		tr.Annotate("serve.dedup_join", "")
 		return fl, fl.subscribe(onPartial)
 	}
 	fl := s.newFlight(key)
+	if tr != nil {
+		fl.tr = tr
+		fl.ctx = obs.WithTrace(fl.ctx, tr)
+		fl.bwin = tr.StartSpan("serve.batch_window")
+	}
 	sub := fl.subscribe(onPartial)
 	b := s.batches[datasetID]
 	if b == nil {
@@ -86,6 +93,9 @@ func (s *Scheduler) formBatch(datasetID string, b *pendingBatch) {
 			alive = append(alive, fl)
 			sks = append(sks, b.sketches[i])
 		}
+	}
+	for _, fl := range alive {
+		fl.bwin.EndNote(fmt.Sprintf("members=%d", len(alive)))
 	}
 	switch len(alive) {
 	case 0:
@@ -120,6 +130,15 @@ func (s *Scheduler) formBatch(datasetID string, b *pendingBatch) {
 	bctx, bcancel := context.WithCancel(context.Background())
 	if s.cfg.Deadline > 0 {
 		bctx, bcancel = context.WithTimeout(context.Background(), s.cfg.Deadline)
+	}
+	// The composite execution records its spans into the first traced
+	// member's trace (one scan, one owner); the rest keep their
+	// batch_window span as the record of having ridden along.
+	for _, fl := range alive {
+		if fl.tr != nil {
+			bctx = obs.WithTrace(bctx, fl.tr)
+			break
+		}
 	}
 	be := &batchExec{ctx: bctx, cancel: bcancel, members: alive, mask: mask, live: len(alive)}
 	for i, fl := range alive {

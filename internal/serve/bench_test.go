@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/flights"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 	"repro/internal/storage"
 	"repro/internal/table"
@@ -292,3 +293,38 @@ func BenchmarkServeBatch(b *testing.B) {
 // deepEqualResult is reflect.DeepEqual behind a name the benchmark can
 // use without importing reflect at every call site.
 func deepEqualResult(a, b sketch.Result) bool { return reflect.DeepEqual(a, b) }
+
+// BenchmarkServeTrace is the tracing-overhead A/B for BENCH_serving.json:
+// the identical scan-bound query through the scheduler with a live trace
+// attached (queue/exec spans, leaf-scan span, 1-in-16 sampled chunk
+// spans, merge span, plus the tracer's ring record on Finish) vs fully
+// untraced, legs interleaved in one process. The query is a 10M-row
+// histogram so the per-query trace cost is measured against real work;
+// acceptance is overhead below host noise.
+func BenchmarkServeTrace(b *testing.B) {
+	ds := batchBenchData(b)
+	sk := &sketch.HistogramSketch{Col: "v", Buckets: sketch.NumericBuckets(table.KindDouble, 0, 1, 32)}
+	tracer := obs.NewTracer(obs.DefaultTraceRing, 0, nil)
+	for _, leg := range []struct {
+		name string
+		ctx  func() (context.Context, *obs.Trace)
+	}{
+		{"untraced", func() (context.Context, *obs.Trace) { return context.Background(), nil }},
+		{"traced", func() (context.Context, *obs.Trace) {
+			tr := tracer.Start("")
+			return obs.WithTrace(context.Background(), tr), tr
+		}},
+	} {
+		b.Run(leg.name, func(b *testing.B) {
+			s := New(&dsRunner{ds: ds}, Config{MaxInFlight: 4, Deadline: -1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx, tr := leg.ctx()
+				if _, err := s.RunSketch(ctx, "big", sk, nil); err != nil {
+					b.Fatal(err)
+				}
+				tr.Finish(nil)
+			}
+		})
+	}
+}

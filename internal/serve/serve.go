@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -154,6 +155,10 @@ type Scheduler struct {
 	batchMembers  atomic.Int64
 	scansSaved    atomic.Int64
 
+	// latency is the end-to-end RunSketch latency histogram (queue wait
+	// included), registered with the obs registry by the hillview binary.
+	latency obs.Histogram
+
 	mu      sync.Mutex
 	flights map[string]*flight
 	batches map[string]*pendingBatch // per datasetID, while a window is open
@@ -173,6 +178,10 @@ func New(run Runner, cfg Config) *Scheduler {
 
 // Config returns the scheduler's effective (defaulted) configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
+
+// LatencyHistogram exposes the end-to-end query latency histogram for
+// registration with an obs.Registry.
+func (s *Scheduler) LatencyHistogram() *obs.Histogram { return &s.latency }
 
 // Stats returns a telemetry snapshot.
 func (s *Scheduler) Stats() Stats {
@@ -199,6 +208,9 @@ func (s *Scheduler) Stats() Stats {
 // ErrResultBudget, context errors, *engine.PanicError) plus whatever
 // the underlying runner returns; HTTPStatus maps them to status codes.
 func (s *Scheduler) RunSketch(ctx context.Context, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (sketch.Result, error) {
+	defer s.latency.ObserveSince(time.Now())
+	tr := obs.TraceFrom(ctx)
+	tr.SetQuery(datasetID, sk.Name())
 	if err := s.checkBudget(sk); err != nil {
 		return nil, err
 	}
@@ -218,10 +230,10 @@ func (s *Scheduler) RunSketch(ctx context.Context, datasetID string, sk sketch.S
 	// member of a batch, which would break the bit-identity contract, so
 	// they keep the plain single-flight path.
 	if _, whole := sk.(sketch.WholePartition); s.cfg.BatchWindow > 0 && !whole {
-		fl, sub := s.joinBatch(key, datasetID, sk, onPartial)
+		fl, sub := s.joinBatch(tr, key, datasetID, sk, onPartial)
 		return s.classify(fl.wait(ctx, s, sub))
 	}
-	fl, sub := s.joinFlight(key, datasetID, sk, onPartial)
+	fl, sub := s.joinFlight(tr, key, datasetID, sk, onPartial)
 	return s.classify(fl.wait(ctx, s, sub))
 }
 
@@ -265,10 +277,15 @@ func (s *Scheduler) withDeadline(ctx context.Context) (context.Context, context.
 // execute runs one underlying execution: admission, then the runner,
 // with panics recovered into the query's error.
 func (s *Scheduler) execute(ctx context.Context, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (res sketch.Result, err error) {
+	tr := obs.TraceFrom(ctx)
+	qsp := tr.StartSpan("serve.queue")
 	if err := s.admit(ctx); err != nil {
+		qsp.EndNote("rejected")
 		return nil, err
 	}
+	qsp.End()
 	s.inflight.Add(1)
+	esp := tr.StartSpan("serve.exec")
 	defer func() {
 		s.inflight.Add(-1)
 		<-s.slots
@@ -281,6 +298,7 @@ func (s *Scheduler) execute(ctx context.Context, datasetID string, sk sketch.Ske
 		if errors.As(err, &pe) {
 			s.panics.Add(1)
 		}
+		esp.End()
 	}()
 	s.execs.Add(1)
 	return s.run.RunSketch(ctx, datasetID, sk, onPartial)
@@ -341,6 +359,13 @@ type flight struct {
 	// instead of cancelling (see wait).
 	batch     *batchExec
 	memberIdx int
+
+	// Tracing: the creating query's trace (nil when untraced) rides the
+	// flight so the shared execution's spans land somewhere; joiners only
+	// get a dedup annotation. bwin is the open serve.batch_window span of
+	// a flight waiting in a batching window (zero when untraced or solo).
+	tr   *obs.Trace
+	bwin obs.SpanHandle
 }
 
 // subscriber is one query joined to a flight. gone guards the partial
@@ -382,15 +407,22 @@ func (fl *flight) subscribe(onPartial engine.PartialFunc) *subscriber {
 }
 
 // joinFlight subscribes to the running flight for key, creating (and
-// launching) it if absent.
-func (s *Scheduler) joinFlight(key, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (*flight, *subscriber) {
+// launching) it if absent. The creator's trace is injected into the
+// flight's detached context so the shared execution records its spans
+// there; joiners get a serve.dedup_join annotation instead.
+func (s *Scheduler) joinFlight(tr *obs.Trace, key, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (*flight, *subscriber) {
 	s.mu.Lock()
 	fl := s.flights[key]
 	created := fl == nil
 	if created {
 		fl = s.newFlight(key)
+		if tr != nil {
+			fl.tr = tr
+			fl.ctx = obs.WithTrace(fl.ctx, tr)
+		}
 	} else {
 		s.dedups.Add(1)
+		tr.Annotate("serve.dedup_join", "")
 	}
 	sub := fl.subscribe(onPartial)
 	s.mu.Unlock()

@@ -37,6 +37,7 @@ func RunBatched(seed uint64) error {
 	local := engine.NewLocal(datasetID, tables, cfg)
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
+	ctx = tracedContext(ctx)
 
 	// Batch-eligible members: WholePartition sketches change the chunk
 	// geometry (and the scheduler excludes them), and multis don't nest.

@@ -65,6 +65,7 @@ func RunFailover(seed uint64) error {
 		defer h.close()
 		ctx, cancel := context.WithTimeout(context.Background(), runTimeout)
 		defer cancel()
+		ctx = tracedContext(ctx)
 		if _, err := h.root.Load(datasetID, src); err != nil {
 			return fmt.Errorf("load: %w", err)
 		}
@@ -174,6 +175,7 @@ func failoverCrashes(cfg engine.Config, src string, sks []sketch.Sketch, want []
 	defer h.close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*runTimeout)
 	defer cancel()
+	ctx = tracedContext(ctx)
 	if _, err := h.root.Load(datasetID, src); err != nil {
 		return fmt.Errorf("load: %w", err)
 	}
@@ -216,6 +218,7 @@ func failoverIdentical(cfg engine.Config, src string, sks []sketch.Sketch, want 
 	defer h.close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*runTimeout)
 	defer cancel()
+	ctx = tracedContext(ctx)
 	if _, err := h.root.Load(datasetID, src); err != nil {
 		return fmt.Errorf("load: %w", err)
 	}
@@ -260,6 +263,7 @@ func failoverSpeculation(seed uint64, cfg engine.Config, src string, sks []sketc
 	defer h.close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*runTimeout)
 	defer cancel()
+	ctx = tracedContext(ctx)
 	if _, err := h.root.Load(datasetID, src); err != nil {
 		return fmt.Errorf("load: %w", err)
 	}
@@ -296,6 +300,7 @@ func totalLossThenRecover(cfg engine.Config, src string, probe sketch.Sketch, wa
 	defer h.close()
 	ctx, cancel := context.WithTimeout(context.Background(), runTimeout)
 	defer cancel()
+	ctx = tracedContext(ctx)
 	if _, err := h.root.Load(datasetID, src); err != nil {
 		return fmt.Errorf("load: %w", err)
 	}

@@ -48,6 +48,7 @@ func RunFaults(seed uint64) error {
 	}
 	want := make([]sketch.Result, len(probes))
 	ctx := context.Background()
+	ctx = tracedContext(ctx)
 	for i, sk := range probes {
 		r, err := local.Sketch(ctx, sk, nil)
 		if err != nil {
@@ -181,6 +182,7 @@ func nonDestructive(seed uint64, cfg engine.Config, src string, tables []*table.
 	defer h.close()
 	ctx, cancel := context.WithTimeout(context.Background(), runTimeout)
 	defer cancel()
+	ctx = tracedContext(ctx)
 	if _, err := h.root.Load(datasetID, src); err != nil {
 		return fmt.Errorf("load: %w", err)
 	}
@@ -217,6 +219,7 @@ func destructiveCut(seed uint64, cfg engine.Config, src string, tables []*table.
 	defer h.close()
 	ctx, cancel := context.WithTimeout(context.Background(), runTimeout)
 	defer cancel()
+	ctx = tracedContext(ctx)
 	if _, err := h.root.Load(datasetID, src); err != nil {
 		return nil // the load itself died on the cut: surfaced, done
 	}
@@ -251,6 +254,7 @@ func destructiveTruncate(seed uint64, cfg engine.Config, src string, tables []*t
 	defer h.close()
 	ctx, cancel := context.WithTimeout(context.Background(), runTimeout/8)
 	defer cancel()
+	ctx = tracedContext(ctx)
 	if _, err := h.root.Load(datasetID, src); err != nil {
 		return nil // the load itself died on the truncation: surfaced, done
 	}
@@ -278,6 +282,7 @@ func workerCrash(seed uint64, cfg engine.Config, src string, tables []*table.Tab
 	defer h.close()
 	ctx, cancel := context.WithTimeout(context.Background(), runTimeout)
 	defer cancel()
+	ctx = tracedContext(ctx)
 	if _, err := h.root.Load(datasetID, src); err != nil {
 		return fmt.Errorf("load: %w", err)
 	}

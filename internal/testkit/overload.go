@@ -113,6 +113,7 @@ func RunOverload(seed uint64) error {
 	// bit-for-bit.
 	ctx, cancel := context.WithTimeout(context.Background(), 2*runTimeout)
 	defer cancel()
+	ctx = tracedContext(ctx)
 	baseline := make([]sketch.Result, len(set))
 	for i, sk := range set {
 		res, err := h.root.RunSketch(ctx, datasetID, sk, nil)

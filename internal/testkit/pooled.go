@@ -105,6 +105,7 @@ func RunPooled(seed uint64) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
+	ctx = tracedContext(ctx)
 	for i, sk := range instances(seed, info) {
 		o, ok := sketch.OracleFor(sk)
 		if !ok {

@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 	"repro/internal/storage"
 	"repro/internal/table"
@@ -57,6 +58,14 @@ import (
 
 // datasetID is the dataset name used by every harness topology.
 const datasetID = "data"
+
+// tracedContext attaches a fresh trace to ctx so every battery runs
+// with tracing enabled end to end (spans recorded at each layer, trace
+// IDs on the wire). The batteries' oracles are unchanged: results with
+// tracing on must stay bit-identical to the untraced semantics.
+func tracedContext(ctx context.Context) context.Context {
+	return obs.WithTrace(ctx, obs.NewTrace(""))
+}
 
 // runTimeout bounds one schedule; reaching it is itself a failure (the
 // "never a hang" half of the fault contract).
@@ -189,6 +198,7 @@ func Run(seed uint64) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
+	ctx = tracedContext(ctx)
 	for _, sk := range instances(seed, info) {
 		if err := runOne(ctx, sk, tables, local, h.root); err != nil {
 			return fmt.Errorf("seed %d: %s: %w", seed, sk.Name(), err)
