@@ -60,8 +60,17 @@ func main() {
 		if err := write(path, t); err != nil {
 			log.Fatalf("hillview-gen: %s: %v", path, err)
 		}
+		// Generated shards feed worker machines and cold-start
+		// benchmarks; sync each so a crash right after "done" cannot
+		// leave a torn or empty shard behind.
+		if err := storage.SyncFile(path); err != nil {
+			log.Fatalf("hillview-gen: %s: %v", path, err)
+		}
 		total += t.NumRows()
 		fmt.Printf("wrote %s (%d rows)\n", path, t.NumRows())
+	}
+	if err := storage.SyncDir(*out); err != nil {
+		log.Fatalf("hillview-gen: %s: %v", *out, err)
 	}
 	fmt.Printf("done: %d rows × %d columns = %d cells in %d files\n",
 		total, *cols, total**cols, len(partsList))

@@ -23,6 +23,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (-debug-addr)
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -39,6 +40,7 @@ func main() {
 	window := flag.Duration("window", engine.DefaultAggregationWindow, "partial-result aggregation window")
 	budget := flag.String("pool-budget", "", "column pool byte budget, e.g. 256M (default $HILLVIEW_POOL_BUDGET; 0 = unlimited)")
 	debugAddr := flag.String("debug-addr", "", "debug listen address serving /debug/pprof (empty = disabled)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM, wait this long for in-flight requests before closing connections")
 	flag.Parse()
 
 	budgetBytes := storage.PoolBudgetFromEnv()
@@ -66,10 +68,15 @@ func main() {
 	log.Printf("hillview-worker: serving on %s (micropartitions of %d rows, pool budget %d bytes)",
 		addr, *micro, budgetBytes)
 
+	// Graceful shutdown: SIGTERM/SIGINT drains — new requests are
+	// refused (the root's failover retries them on replicas), in-flight
+	// requests get -drain-timeout to finish — then the process exits 0.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	log.Printf("hillview-worker: shutting down")
-	w.Close()
-	time.Sleep(100 * time.Millisecond)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("hillview-worker: %v: draining (up to %v, %d requests in flight)", got, *drainTimeout, w.ActiveRequests())
+	if err := w.Drain(*drainTimeout); err != nil {
+		log.Printf("hillview-worker: %v", err)
+	}
+	log.Printf("hillview-worker: shutdown complete")
 }

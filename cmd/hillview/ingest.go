@@ -1,0 +1,397 @@
+// Streaming-ingestion endpoints. Enabled with -ingest-dir (in-process
+// mode only: sealed partitions live on the root's local disk), which
+// roots an ingest.Store there and recovers every dataset under it on
+// startup.
+//
+//	POST /api/ingest?op=create&name=ev&schema=ts:date,lat:double,msg:string
+//	POST /api/ingest?op=append&name=ev     body {"rows": [[...], ...]}
+//	POST /api/ingest?op=seal&name=ev
+//	GET  /api/ingest?op=status[&name=ev]
+//
+//	POST /api/standing?op=register&name=ev&sketch=hist&col=lat&lo=-90&hi=90&bars=36
+//	GET  /api/standing?op=get&name=ev&id=sq-1
+//	GET  /api/standing?name=ev
+//
+// Appended rows buffer in the dataset's open segment (lost on crash,
+// by contract) until a seal — explicit via op=seal, or automatic past
+// -segment-rows — makes them a durable immutable partition. Each seal
+// advances the dataset's engine generation, so every query endpoint
+// observes the new sealed prefix immediately while cached results for
+// the old prefix stay valid for readers still holding them. Standing
+// queries re-merge only the newly sealed partition.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/sketch"
+	"repro/internal/table"
+)
+
+// attachIngest installs the ingest store and registers its telemetry
+// group (section "ingest" in /api/status).
+func (s *server) attachIngest(st *ingest.Store, m *ingest.Metrics) {
+	s.ingest, s.ingestM = st, m
+	m.Register(s.reg.Group("ingest", "ingest"))
+}
+
+// openIngestDatasets recovers every dataset under the store root and
+// registers each as a loaded view named after the dataset.
+func (s *server) openIngestDatasets() ([]string, error) {
+	names, err := s.ingest.OpenAll()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if err := s.loadIngestView(name); err != nil {
+			return names, fmt.Errorf("loading recovered dataset %q: %w", name, err)
+		}
+	}
+	return names, nil
+}
+
+// loadIngestView makes the named ingest dataset queryable: one root
+// view over the "ingest:" source, served like any loaded dataset.
+func (s *server) loadIngestView(name string) error {
+	v, err := s.sheet.Load(context.Background(), name, ingest.SourcePrefix+name)
+	if err != nil {
+		return err
+	}
+	s.views.putLoaded(name, v)
+	return nil
+}
+
+func (s *server) ingestStore(w http.ResponseWriter) *ingest.Store {
+	if s.ingest == nil {
+		http.Error(w, "ingestion is disabled (start with -ingest-dir)", http.StatusBadRequest)
+		return nil
+	}
+	return s.ingest
+}
+
+func (s *server) ingestDataset(w http.ResponseWriter, r *http.Request) *ingest.Dataset {
+	st := s.ingestStore(w)
+	if st == nil {
+		return nil
+	}
+	d, err := st.Get(r.URL.Query().Get("name"))
+	if err != nil {
+		s.httpError(w, err)
+		return nil
+	}
+	return d
+}
+
+// handleIngest is the dataset-lifecycle endpoint: create, append, seal,
+// status.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	switch op := r.URL.Query().Get("op"); op {
+	case "create":
+		s.handleIngestCreate(w, r)
+	case "append":
+		s.handleIngestAppend(w, r)
+	case "seal":
+		s.handleIngestSeal(w, r)
+	case "status", "":
+		s.handleIngestStatus(w, r)
+	default:
+		http.Error(w, fmt.Sprintf("unknown op %q (want create, append, seal, status)", op), http.StatusBadRequest)
+	}
+}
+
+// parseSchemaSpec parses "name:kind,name:kind" column specs.
+func parseSchemaSpec(spec string) (*table.Schema, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("need schema (e.g. schema=ts:date,lat:double)")
+	}
+	var cols []table.ColumnDesc
+	for _, part := range strings.Split(spec, ",") {
+		name, kindName, ok := strings.Cut(part, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad schema column %q (want name:kind)", part)
+		}
+		kind, err := table.ParseKind(kindName)
+		if err != nil {
+			return nil, fmt.Errorf("column %q: %w", name, err)
+		}
+		cols = append(cols, table.ColumnDesc{Name: name, Kind: kind})
+	}
+	return table.NewSchema(cols...), nil
+}
+
+func (s *server) handleIngestCreate(w http.ResponseWriter, r *http.Request) {
+	st := s.ingestStore(w)
+	if st == nil {
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("name")
+	schema, err := parseSchemaSpec(q.Get("schema"))
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	if _, err := st.Create(name, schema); err != nil {
+		s.httpError(w, err)
+		return
+	}
+	if err := s.loadIngestView(name); err != nil {
+		s.httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"dataset": name, "schema": schema.Columns})
+}
+
+// parseIngestRow converts one JSON row (an array of values) to a
+// table.Row per the dataset schema. null means missing; dates accept
+// RFC 3339 strings or epoch-millisecond numbers.
+func parseIngestRow(schema *table.Schema, in []any) (table.Row, error) {
+	if len(in) != schema.NumColumns() {
+		return nil, fmt.Errorf("row has %d values, schema has %d columns", len(in), schema.NumColumns())
+	}
+	row := make(table.Row, len(in))
+	for i, raw := range in {
+		cd := schema.Columns[i]
+		if raw == nil {
+			row[i] = table.MissingValue(cd.Kind)
+			continue
+		}
+		switch cd.Kind {
+		case table.KindInt:
+			n, ok := raw.(float64)
+			if !ok || n != float64(int64(n)) {
+				return nil, fmt.Errorf("column %q wants an integer, got %v", cd.Name, raw)
+			}
+			row[i] = table.IntValue(int64(n))
+		case table.KindDouble:
+			n, ok := raw.(float64)
+			if !ok {
+				return nil, fmt.Errorf("column %q wants a number, got %v", cd.Name, raw)
+			}
+			row[i] = table.DoubleValue(n)
+		case table.KindString:
+			str, ok := raw.(string)
+			if !ok {
+				return nil, fmt.Errorf("column %q wants a string, got %v", cd.Name, raw)
+			}
+			row[i] = table.StringValue(str)
+		case table.KindDate:
+			switch v := raw.(type) {
+			case float64:
+				row[i] = table.DateValue(time.UnixMilli(int64(v)).UTC())
+			case string:
+				t, err := time.Parse(time.RFC3339, v)
+				if err != nil {
+					return nil, fmt.Errorf("column %q: %w", cd.Name, err)
+				}
+				row[i] = table.DateValue(t)
+			default:
+				return nil, fmt.Errorf("column %q wants an RFC 3339 string or epoch millis, got %v", cd.Name, raw)
+			}
+		default:
+			return nil, fmt.Errorf("column %q has unsupported kind %v", cd.Name, cd.Kind)
+		}
+	}
+	return row, nil
+}
+
+func (s *server) handleIngestAppend(w http.ResponseWriter, r *http.Request) {
+	d := s.ingestDataset(w, r)
+	if d == nil {
+		return
+	}
+	var req struct {
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad append body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Rows) == 0 {
+		http.Error(w, "append body has no rows", http.StatusBadRequest)
+		return
+	}
+	rows := make([]table.Row, len(req.Rows))
+	for i, in := range req.Rows {
+		row, err := parseIngestRow(d.Schema(), in)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("row %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		rows[i] = row
+	}
+	if err := d.AppendRows(r.Context(), rows); err != nil {
+		s.httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"dataset": d.Name(), "appended": len(rows),
+		"openRows": d.OpenRows(), "generation": d.Generation(),
+	})
+}
+
+func (s *server) handleIngestSeal(w http.ResponseWriter, r *http.Request) {
+	d := s.ingestDataset(w, r)
+	if d == nil {
+		return
+	}
+	p, err := d.Seal(r.Context())
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	out := map[string]any{"dataset": d.Name(), "generation": d.Generation(), "sealed": p != nil}
+	if p != nil {
+		out["partition"] = p
+	}
+	writeJSON(w, out)
+}
+
+// ingestDatasetStatus is one dataset's section in op=status and in
+// /api/status.
+func ingestDatasetStatus(d *ingest.Dataset) map[string]any {
+	return map[string]any{
+		"generation": d.Generation(),
+		"partitions": d.Partitions(),
+		"openRows":   d.OpenRows(),
+		"standing":   d.Standing(),
+	}
+}
+
+func (s *server) handleIngestStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.ingestStore(w)
+	if st == nil {
+		return
+	}
+	if name := r.URL.Query().Get("name"); name != "" {
+		d, err := st.Get(name)
+		if err != nil {
+			s.httpError(w, err)
+			return
+		}
+		writeJSON(w, ingestDatasetStatus(d))
+		return
+	}
+	writeJSON(w, s.ingestStatus())
+}
+
+// ingestStatus renders the store-wide section shared by op=status and
+// handleStatus.
+func (s *server) ingestStatus() map[string]any {
+	datasets := map[string]any{}
+	for _, name := range s.ingest.Names() {
+		d, err := s.ingest.Get(name)
+		if err != nil {
+			datasets[name] = map[string]any{"error": err.Error()}
+			continue
+		}
+		datasets[name] = ingestDatasetStatus(d)
+	}
+	return map[string]any{
+		"root":     s.ingest.Root(),
+		"datasets": datasets,
+		"appends":  s.ingestM.Appends.Load(), "appendedRows": s.ingestM.AppendedRows.Load(),
+		"seals": s.ingestM.Seals.Load(), "sealedRows": s.ingestM.SealedRows.Load(),
+		"recoveries":      s.ingestM.Recoveries.Load(),
+		"tornTruncated":   s.ingestM.TornTruncated.Load(),
+		"orphansRemoved":  s.ingestM.OrphansRemoved.Load(),
+		"standingUpdates": s.ingestM.StandingUpdates.Load(),
+	}
+}
+
+// handleStanding manages standing queries: registered once, their
+// result re-merged incrementally on every seal.
+func (s *server) handleStanding(w http.ResponseWriter, r *http.Request) {
+	d := s.ingestDataset(w, r)
+	if d == nil {
+		return
+	}
+	switch op := r.URL.Query().Get("op"); op {
+	case "register":
+		s.handleStandingRegister(w, r, d)
+	case "get":
+		s.handleStandingGet(w, r, d)
+	case "list", "":
+		writeJSON(w, map[string]any{"dataset": d.Name(), "standing": d.Standing()})
+	default:
+		http.Error(w, fmt.Sprintf("unknown op %q (want register, get, list)", op), http.StatusBadRequest)
+	}
+}
+
+// standingSketch builds the sketch named by the request: hist (needs
+// lo, hi, bars), distinct, or range, each over column col.
+func standingSketch(q map[string][]string, d *ingest.Dataset) (sketch.Sketch, error) {
+	get := func(key string) string {
+		if v, ok := q[key]; ok && len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	col := get("col")
+	cd, err := d.Schema().Column(col)
+	if err != nil {
+		return nil, err
+	}
+	switch kind := get("sketch"); kind {
+	case "hist", "":
+		lo, err1 := strconv.ParseFloat(get("lo"), 64)
+		hi, err2 := strconv.ParseFloat(get("hi"), 64)
+		if err1 != nil || err2 != nil || hi <= lo {
+			return nil, fmt.Errorf("hist needs numeric lo < hi (got lo=%q hi=%q)", get("lo"), get("hi"))
+		}
+		bars, _ := strconv.Atoi(get("bars"))
+		if bars <= 0 {
+			bars = 20
+		}
+		if !cd.Kind.Numeric() {
+			return nil, fmt.Errorf("column %q is not numeric", col)
+		}
+		return &sketch.HistogramSketch{Col: col, Buckets: sketch.NumericBuckets(cd.Kind, lo, hi, bars)}, nil
+	case "distinct":
+		return &sketch.DistinctCountSketch{Col: col}, nil
+	case "range":
+		if !cd.Kind.Numeric() {
+			return nil, fmt.Errorf("column %q is not numeric", col)
+		}
+		return &sketch.RangeSketch{Col: col}, nil
+	default:
+		return nil, fmt.Errorf("unknown sketch %q (want hist, distinct, range)", kind)
+	}
+}
+
+func (s *server) handleStandingRegister(w http.ResponseWriter, r *http.Request, d *ingest.Dataset) {
+	sk, err := standingSketch(r.URL.Query(), d)
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	q, err := d.Register(sk)
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	res, upTo, _ := q.Result()
+	writeJSON(w, map[string]any{"id": q.ID(), "sketch": sk.Name(), "upTo": upTo, "result": res})
+}
+
+func (s *server) handleStandingGet(w http.ResponseWriter, r *http.Request, d *ingest.Dataset) {
+	id := r.URL.Query().Get("id")
+	q, ok := d.StandingByID(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no standing query %q on dataset %q", id, d.Name()), http.StatusNotFound)
+		return
+	}
+	res, upTo, err := q.Result()
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"id": id, "sketch": q.Sketch().Name(), "upTo": upTo, "result": res})
+}

@@ -65,6 +65,7 @@ package main
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -72,15 +73,20 @@ import (
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (-debug-addr)
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/colstore"
 	"repro/internal/engine"
 	"repro/internal/flights"
+	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/serve"
@@ -100,6 +106,13 @@ type server struct {
 	dcache *storage.DataCache // nil in cluster mode
 	clu    *cluster.Cluster   // nil in in-process mode
 	views  *viewRegistry
+
+	// Streaming ingestion (nil unless -ingest-dir): the store owns the
+	// crash-safe datasets, ingestM their shared telemetry. draining flips
+	// on SIGTERM so requests arriving after the drain starts get a 503.
+	ingest   *ingest.Store
+	ingestM  *ingest.Metrics
+	draining atomic.Bool
 
 	// Observability: every subsystem's telemetry registers in reg (the
 	// /metrics endpoint renders it; handleStatus mirrors it per group
@@ -126,6 +139,8 @@ func main() {
 	maxViews := flag.Int("max-views", DefaultMaxViews, "derived views kept before LRU eviction (0 = unlimited)")
 	slowQuery := flag.Duration("slow-query", time.Second, "log one structured line per query slower than this (0 = disabled)")
 	debugAddr := flag.String("debug-addr", "", "debug listen address serving /debug/pprof and /metrics (empty = disabled)")
+	ingestDir := flag.String("ingest-dir", "", "root directory for crash-safe streaming ingest datasets (in-process mode only; empty = disabled)")
+	segmentRows := flag.Int("segment-rows", ingest.DefaultSegmentRows, "auto-seal open ingest segments past this many buffered rows (negative = explicit seals only)")
 	flag.Parse()
 
 	flights.Register()
@@ -135,6 +150,9 @@ func main() {
 		pool   *colstore.Pool
 		dcache *storage.DataCache
 		clu    *cluster.Cluster
+		st     *ingest.Store
+		im     *ingest.Metrics
+		root   *engine.Root
 	)
 	if *workers == "" {
 		budgetBytes := storage.PoolBudgetFromEnv()
@@ -149,7 +167,26 @@ func main() {
 		dcache = storage.NewDataCache(0)
 		loader = storage.NewLoaderWith(cfg, storage.LoaderOpts{MicroRows: *micro, Pool: pool, Cache: dcache})
 		log.Printf("hillview: in-process engine (pool budget %d bytes)", budgetBytes)
+		if *ingestDir != "" {
+			// Sealing a partition advances the dataset's engine generation:
+			// new queries observe the grown prefix, cached results for the
+			// old prefix stay keyed to the old generation.
+			im = &ingest.Metrics{}
+			st = ingest.NewStore(*ingestDir, ingest.StoreConfig{
+				SegmentRows: *segmentRows,
+				Metrics:     im,
+				OnSeal: func(name string, _ ingest.Partition) {
+					if root != nil {
+						root.Advance(name)
+					}
+				},
+			})
+			loader = st.WrapLoader(loader, cfg)
+		}
 	} else {
+		if *ingestDir != "" {
+			log.Fatalf("hillview: -ingest-dir requires the in-process engine (drop -workers); sealed partitions live on this server's disk")
+		}
 		addrs := strings.Split(*workers, ",")
 		c, err := cluster.ConnectOptions(nil, addrs, cfg, cluster.Options{
 			Replication:    *replication,
@@ -165,7 +202,8 @@ func main() {
 		log.Printf("hillview: connected to %d workers (%d groups × %d replicas)",
 			len(addrs), st.Groups, st.Replication)
 	}
-	s := newServer(engine.NewRoot(loader), serve.Config{
+	root = engine.NewRoot(loader)
+	s := newServer(root, serve.Config{
 		MaxInFlight:   *maxInFlight,
 		QueueDepth:    *queueDepth,
 		Deadline:      *queryDeadline,
@@ -173,6 +211,14 @@ func main() {
 		BatchWindow:   *batchWindow,
 	}, *maxViews)
 	s.attachEnv(pool, dcache, clu)
+	if st != nil {
+		s.attachIngest(st, im)
+		names, err := s.openIngestDatasets()
+		if err != nil {
+			log.Fatalf("hillview: %v", err)
+		}
+		log.Printf("hillview: ingest store at %s (%d datasets recovered)", *ingestDir, len(names))
+	}
 	s.tracer.SetSlowQuery(*slowQuery)
 	if *debugAddr != "" {
 		// The debug mux: net/http/pprof registered itself on the default
@@ -186,7 +232,52 @@ func main() {
 	log.Printf("hillview: admission %d in-flight + %d queued, deadline %v, view cap %d, slow-query %v",
 		sc.MaxInFlight, sc.QueueDepth, sc.Deadline, *maxViews, *slowQuery)
 	log.Printf("hillview: listening on %s", *httpAddr)
-	log.Fatal(http.ListenAndServe(*httpAddr, s.mux()))
+
+	// Graceful shutdown: SIGTERM/SIGINT starts a drain — in-flight
+	// requests finish (bounded by the query deadline), late arrivals get
+	// 503 + Retry-After, open ingest segments seal durably — then exit 0.
+	srv := &http.Server{Addr: *httpAddr, Handler: s.handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errCh:
+		log.Fatalf("hillview: %v", err)
+	case sig := <-stop:
+		drain := *queryDeadline
+		if drain <= 0 {
+			drain = 10 * time.Second
+		}
+		log.Printf("hillview: %v: draining in-flight requests (up to %v)", sig, drain)
+		s.draining.Store(true)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("hillview: drain incomplete: %v", err)
+		}
+		if s.ingest != nil {
+			if err := s.ingest.Close(); err != nil {
+				log.Printf("hillview: sealing open ingest segments: %v", err)
+			}
+		}
+		log.Printf("hillview: shutdown complete")
+	}
+}
+
+// handler wraps the mux with the drain gate: once shutdown starts,
+// every late request is refused with 503 + Retry-After instead of
+// racing the closing subsystems.
+func (s *server) handler() http.Handler {
+	mux := s.mux()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server is draining for shutdown", http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // newServer wires the scheduler between the spreadsheet and the root:
@@ -337,6 +428,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/api/heatmap", query("heatmap", s.handleHeatmap))
 	mux.HandleFunc("/api/heavyhitters", query("heavyhitters", s.handleHeavyHitters))
 	mux.HandleFunc("/api/filter", query("filter", s.handleFilter))
+	mux.HandleFunc("/api/ingest", query("ingest", s.handleIngest))
+	mux.HandleFunc("/api/standing", query("standing", s.handleStanding))
 	mux.HandleFunc("/api/status", s.sched.Recovered(s.handleStatus))
 	mux.HandleFunc("/api/svg/histogram", query("svg.histogram", s.handleHistogramSVG))
 	mux.HandleFunc("/api/trace/", s.sched.Recovered(s.handleTrace))
@@ -487,6 +580,9 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			"started": s.tracer.Started(), "finished": s.tracer.Finished(),
 			"slowQueries": s.tracer.SlowQueries(), "ring": s.tracer.RingLen(),
 		},
+	}
+	if s.ingest != nil {
+		out["ingest"] = s.ingestStatus()
 	}
 	if s.dcache != nil {
 		dh, dm, dp := s.dcache.Stats()

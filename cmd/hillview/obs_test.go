@@ -54,6 +54,7 @@ func TestStatusMetricsDrift(t *testing.T) {
 	}{
 		{"in-process", testServer(t)},
 		{"cluster", clusterServer(t, 1, 1)},
+		{"ingest", testIngestServer(t, -1)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			s := tc.s

@@ -58,6 +58,29 @@
 // legacy HVC1 files keep working through the decode path and gained a
 // CRC32-C footer of their own.
 //
+// Datasets grow while users watch (internal/ingest): writers append
+// row batches into an open segment that seals into an immutable HVC2
+// partition through a write-temp → fsync → rename → fsync(dir) →
+// manifest-append+fsync protocol whose final step — a CRC32-C-framed
+// record in the dataset manifest — is the atomic commit point. Recovery
+// replays the manifest, truncates at the first torn record, verifies
+// every referenced partition, and removes orphans, so a crash at any
+// instant yields a consistent sealed prefix of what was acknowledged.
+// Each append bumps a dataset generation counter that qualifies the
+// engine's computation cache and the scheduler's dedup/batch keys —
+// stale entries are invalidated exactly, unaffected datasets keep
+// their cache. Standing queries exploit sketch mergeability: a
+// registered sketch re-merges only newly sealed partitions into its
+// running result instead of rescanning (ingest.Standing).
+// cmd/hillview serves this at /api/ingest and /api/standing
+// (-ingest-dir), and both servers drain gracefully on SIGTERM —
+// in-flight queries finish under a deadline, open segments seal, late
+// requests get a clean retryable error. testkit.RunIngest is the
+// correctness net: every append-schedule prefix must be bit-identical
+// to a from-scratch run, and a crash-point battery replays truncated
+// operation sequences proving recovery never loses an acknowledged
+// seal nor resurrects an unacknowledged one.
+//
 // Correctness is guarded by a deterministic chaos harness
 // (internal/testkit): from a single seed it generates randomized
 // tables over every column kind, missing mask, dictionary size, and

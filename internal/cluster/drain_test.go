@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sketch"
+)
+
+// blockingDataSet is a one-leaf dataset whose Sketch parks until
+// released — the controllable in-flight request for drain tests.
+type blockingDataSet struct {
+	id      string
+	once    sync.Once
+	started chan struct{}
+	release chan struct{}
+}
+
+func newBlockingDataSet(id string) *blockingDataSet {
+	return &blockingDataSet{id: id, started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (d *blockingDataSet) ID() string     { return d.id }
+func (d *blockingDataSet) NumLeaves() int { return 1 }
+
+func (d *blockingDataSet) Sketch(ctx context.Context, sk sketch.Sketch, _ engine.PartialFunc) (sketch.Result, error) {
+	d.once.Do(func() { close(d.started) })
+	select {
+	case <-d.release:
+		return sk.Zero(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (d *blockingDataSet) Map(engine.MapOp, string) (engine.IDataSet, error) {
+	return nil, errors.New("blockingDataSet cannot map")
+}
+
+// TestWorkerDrainWaitsForInFlight pins the graceful-shutdown contract:
+// Drain lets a request already executing finish (its client gets the
+// real result), refuses requests arriving after the drain began, and
+// returns once the worker is quiet.
+func TestWorkerDrainWaitsForInFlight(t *testing.T) {
+	ds := newBlockingDataSet("slow")
+	w := NewWorker(func(id, source string) (engine.IDataSet, error) { return ds, nil })
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := engine.Config{AggregationWindow: -1}
+	c, err := Connect([]string{addr}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.Clients()[0]
+	ctx := context.Background()
+	if _, err := cl.Load(ctx, "slow", "any:"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park one sketch on the worker.
+	type res struct {
+		r   sketch.Result
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		r, err := cl.Sketch(ctx, "slow", &sketch.RangeSketch{Col: "x"}, nil)
+		got <- res{r, err}
+	}()
+	<-ds.started
+	if n := w.ActiveRequests(); n != 1 {
+		t.Fatalf("ActiveRequests = %d, want 1", n)
+	}
+
+	// Drain concurrently; release the parked sketch shortly after. The
+	// drained worker must still deliver its result.
+	drained := make(chan error, 1)
+	go func() { drained <- w.Drain(5 * time.Second) }()
+	time.Sleep(20 * time.Millisecond) // let Drain flip the draining flag
+	close(ds.release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight sketch failed during drain: %v", r.err)
+	}
+	if r.r == nil {
+		t.Fatal("in-flight sketch returned no result")
+	}
+	if n := w.ActiveRequests(); n != 0 {
+		t.Errorf("ActiveRequests after drain = %d", n)
+	}
+}
+
+// TestWorkerDrainRefusesNewRequests pins the refusal half: a request
+// arriving on a live connection after the drain began gets an error
+// naming the drain, not a hang.
+func TestWorkerDrainRefusesNewRequests(t *testing.T) {
+	ds := newBlockingDataSet("slow")
+	w := NewWorker(func(id, source string) (engine.IDataSet, error) { return ds, nil })
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := engine.Config{AggregationWindow: -1}
+	c, err := Connect([]string{addr}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.Clients()[0]
+	ctx := context.Background()
+	if _, err := cl.Load(ctx, "slow", "any:"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park one request so Drain stays in its wait, keeping the
+	// connection open for the late request.
+	go cl.Sketch(ctx, "slow", &sketch.RangeSketch{Col: "x"}, nil)
+	<-ds.started
+	drained := make(chan error, 1)
+	go func() { drained <- w.Drain(5 * time.Second) }()
+	for !w.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := cl.Sketch(ctx, "slow", &sketch.RangeSketch{Col: "y"}, nil); err == nil {
+		t.Error("late request succeeded; want a draining error")
+	} else if !strings.Contains(err.Error(), "draining") {
+		t.Errorf("late request error %q does not name the drain", err)
+	}
+	close(ds.release)
+	if err := <-drained; err != nil {
+		t.Errorf("drain: %v", err)
+	}
+}
+
+// TestWorkerDrainTimeout pins the bound: a request that never finishes
+// cannot hold shutdown hostage — Drain reports the timeout and closes
+// the connections out from under it.
+func TestWorkerDrainTimeout(t *testing.T) {
+	ds := newBlockingDataSet("stuck")
+	w := NewWorker(func(id, source string) (engine.IDataSet, error) { return ds, nil })
+	addr, err := w.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.Config{AggregationWindow: -1}
+	c, err := Connect([]string{addr}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cl := c.Clients()[0]
+	ctx := context.Background()
+	if _, err := cl.Load(ctx, "stuck", "any:"); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cl.Sketch(ctx, "stuck", &sketch.RangeSketch{Col: "x"}, nil)
+		errCh <- err
+	}()
+	<-ds.started
+
+	if err := w.Drain(50 * time.Millisecond); err == nil {
+		t.Fatal("drain with a stuck request returned nil, want timeout error")
+	}
+	// The stuck request's client sees its connection die.
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("stuck sketch returned nil error after its connection was closed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stuck sketch still pending after drain closed connections")
+	}
+	close(ds.release)
+}

@@ -7,6 +7,8 @@ import (
 	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -21,6 +23,13 @@ import (
 // cached datasets").
 type Worker struct {
 	loader engine.Loader
+
+	// Graceful shutdown: active tracks in-flight requests; draining
+	// flips when Drain starts, after which new requests are refused (the
+	// root's failover retries them on a replica).
+	active   sync.WaitGroup
+	inFlight atomic.Int64
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	datasets map[string]engine.IDataSet
@@ -142,6 +151,40 @@ func (w *Worker) Close() error {
 	return nil
 }
 
+// ActiveRequests returns the number of requests executing now.
+func (w *Worker) ActiveRequests() int64 { return w.inFlight.Load() }
+
+// Drain performs a graceful shutdown: the listener closes, requests
+// arriving on live connections are refused (the root's failover
+// retries them on a replica), in-flight requests get up to timeout to
+// finish, and then every connection is closed. A nil return means the
+// worker went quiet; an error means the timeout cut work off.
+func (w *Worker) Drain(timeout time.Duration) error {
+	w.draining.Store(true)
+	w.Close()
+	done := make(chan struct{})
+	go func() {
+		w.active.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		err = fmt.Errorf("cluster: drain timed out after %v with %d requests in flight", timeout, w.ActiveRequests())
+	}
+	w.mu.Lock()
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
 func (w *Worker) acceptLoop(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
@@ -204,12 +247,27 @@ func (w *Worker) serveConn(conn net.Conn) {
 		}
 		cancels[env.ReqID] = cancel
 		mu.Unlock()
+		if w.draining.Load() {
+			// Refuse work arriving after the drain began; replicas carry it.
+			mu.Lock()
+			delete(cancels, env.ReqID)
+			mu.Unlock()
+			cancel()
+			if err := fc.send(&Envelope{Kind: MsgError, ReqID: env.ReqID, Err: "cluster: worker is draining for shutdown"}); err != nil {
+				w.logf("cluster worker: send: %v", err)
+			}
+			continue
+		}
+		w.active.Add(1)
+		w.inFlight.Add(1)
 		go func(env *Envelope) {
 			defer func() {
 				mu.Lock()
 				delete(cancels, env.ReqID)
 				mu.Unlock()
 				cancel()
+				w.inFlight.Add(-1)
+				w.active.Done()
 			}()
 			// A panic while serving one request (a buggy sketch summarize,
 			// a malformed operand) must not kill the worker process — the

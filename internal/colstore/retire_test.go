@@ -1,0 +1,172 @@
+package colstore
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// hookLoader is intLoader plus an evict hook counting how many times
+// the pool released the column's backing pages.
+func hookLoader(n int, seed int64, loads, releases *atomic.Int64) Loader {
+	return func() (table.Column, int64, func(), error) {
+		loads.Add(1)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = seed + int64(i)
+		}
+		return table.NewIntColumn(table.KindInt, vals, nil), int64(8 * n), func() { releases.Add(1) }, nil
+	}
+}
+
+// TestPoolInvalidateRetiresSource pins the partition-retirement
+// contract: dropping one source from the live set frees exactly its
+// resident bytes, fires each column's page-release hook once, and
+// leaves every other source untouched and hot.
+func TestPoolInvalidateRetiresSource(t *testing.T) {
+	p := NewPool(0) // unlimited: only retirement may evict
+	var loads, oldReleases, keepReleases atomic.Int64
+	for _, name := range []string{"a", "b"} {
+		_, r, err := p.Acquire(ColKey{"old", name}, hookLoader(100, 1, &loads, &oldReleases))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r()
+	}
+	_, rKeep, err := p.Acquire(ColKey{"keep", "a"}, hookLoader(50, 2, &loads, &keepReleases))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rKeep()
+	if s := p.Stats(); s.Resident != 2*800+400 || s.Columns != 3 {
+		t.Fatalf("setup: %v", s)
+	}
+
+	if pinnedLeft := p.Invalidate("old"); pinnedLeft {
+		t.Fatal("Invalidate reported pinned columns; none were pinned")
+	}
+	s := p.Stats()
+	if s.Resident != 400 || s.Columns != 1 {
+		t.Fatalf("retired source still charged: %v", s)
+	}
+	if got := oldReleases.Load(); got != 2 {
+		t.Fatalf("retired source released %d column hooks, want 2", got)
+	}
+	if got := keepReleases.Load(); got != 0 {
+		t.Fatalf("surviving source's pages were released %d times", got)
+	}
+
+	// The surviving source is still hot; the retired one reloads.
+	if _, r, err := p.Acquire(ColKey{"keep", "a"}, hookLoader(50, 2, &loads, &keepReleases)); err != nil {
+		t.Fatal(err)
+	} else {
+		r()
+	}
+	if s := p.Stats(); s.Hits != 1 {
+		t.Fatalf("surviving source was not a hit: %v", s)
+	}
+	if _, r, err := p.Acquire(ColKey{"old", "a"}, hookLoader(100, 1, &loads, &oldReleases)); err != nil {
+		t.Fatal(err)
+	} else {
+		r()
+	}
+	if got := loads.Load(); got != 4 {
+		t.Fatalf("loader ran %d times, want 4 (a,b,keep + reload of retired a)", got)
+	}
+}
+
+// TestPoolInvalidatePinnedSurvives pins the in-use half: a scan
+// holding a column of a retired partition keeps it alive (soft-state
+// contract — the scan must finish against the snapshot it pinned), the
+// pool reports the survivor, and a second retirement after the pin
+// releases completes the cleanup.
+func TestPoolInvalidatePinnedSurvives(t *testing.T) {
+	p := NewPool(0)
+	var loads, releases atomic.Int64
+	col, release, err := p.Acquire(ColKey{"old", "a"}, hookLoader(100, 7, &loads, &releases))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pinnedLeft := p.Invalidate("old"); !pinnedLeft {
+		t.Fatal("Invalidate did not report the pinned column")
+	}
+	if releases.Load() != 0 {
+		t.Fatal("pinned column's pages were released mid-scan")
+	}
+	// The pinned column still reads correctly.
+	if got := col.(*table.IntColumn).Ints()[0]; got != 7 {
+		t.Fatalf("pinned column corrupted after Invalidate: first value %d", got)
+	}
+
+	release()
+	if pinnedLeft := p.Invalidate("old"); pinnedLeft {
+		t.Fatal("second Invalidate after release still reports a pin")
+	}
+	if releases.Load() != 1 {
+		t.Fatalf("retired column's hook ran %d times, want exactly 1", releases.Load())
+	}
+	if s := p.Stats(); s.Resident != 0 || s.Columns != 0 {
+		t.Fatalf("retired source left residue: %v", s)
+	}
+}
+
+// TestPoolInvalidateMappedFile retires a real mapped partition file:
+// every mapped column's pages are unmapped, the budget frees, and a
+// fresh file at the same path (same source key) serves the new bytes.
+func TestPoolInvalidateMappedFile(t *testing.T) {
+	src := testTable(t, 500)
+	path := writeTemp(t, src)
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(0)
+	acquireAll := func(f *File) map[string][]table.Value {
+		vals := map[string][]table.Value{}
+		for ci := 0; ci < f.Schema().NumColumns(); ci++ {
+			name := f.Schema().Columns[ci].Name
+			ci := ci
+			col, release, err := p.Acquire(ColKey{f.Path(), name}, func() (table.Column, int64, func(), error) {
+				return f.Column(ci)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs := make([]table.Value, col.Len())
+			for i := range vs {
+				vs[i] = col.Value(i)
+			}
+			vals[name] = vs
+			release()
+		}
+		return vals
+	}
+	before := acquireAll(f)
+	if s := p.Stats(); s.Resident == 0 {
+		t.Fatalf("mapped columns not charged: %v", s)
+	}
+
+	if pinnedLeft := p.Invalidate(f.Path()); pinnedLeft {
+		t.Fatal("Invalidate reported pins; all columns were released")
+	}
+	if s := p.Stats(); s.Resident != 0 || s.Columns != 0 {
+		t.Fatalf("mapped pages still charged after retirement: %v", s)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close after retirement: %v", err)
+	}
+
+	// Reopen and reload through the same keys: bit-identical values.
+	f2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	after := acquireAll(f2)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("reloaded mapped columns differ after retirement cycle")
+	}
+}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"container/list"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/obs"
@@ -53,6 +55,25 @@ func Key(datasetID string, sk sketch.Sketch) (string, bool) {
 	return datasetID + "|" + c.CacheKey(), true
 }
 
+// QualifyDataset renders the generation-qualified dataset identity used
+// in cache and dedup keys. Generation 0 (static datasets, which never
+// advance) keeps the bare ID, so every pre-existing key and caller is
+// unchanged; growing datasets embed the generation behind a "\x00"
+// separator — a byte no dataset ID contains — so results computed
+// against different live sets can never collide, while
+// InvalidateDataset still matches every generation of the ID.
+func QualifyDataset(datasetID string, gen uint64) string {
+	if gen == 0 {
+		return datasetID
+	}
+	return datasetID + "\x00" + strconv.FormatUint(gen, 10)
+}
+
+// KeyAt is Key for a dataset at a specific generation.
+func KeyAt(datasetID string, gen uint64, sk sketch.Sketch) (string, bool) {
+	return Key(QualifyDataset(datasetID, gen), sk)
+}
+
 // Get returns the cached result for key, if any.
 func (c *Cache) Get(key string) (sketch.Result, bool) {
 	c.mu.Lock()
@@ -84,15 +105,18 @@ func (c *Cache) Put(key string, res sketch.Result) {
 	}
 }
 
-// InvalidateDataset drops every entry belonging to a dataset (used when
-// a dataset is rebuilt by replay — results would still be valid for
-// deterministic sketches, but dropping is the conservative choice).
+// InvalidateDataset drops every entry belonging to a dataset — all
+// generations of it (used when a dataset is rebuilt by replay, or its
+// generation advances after an ingest seal; results would still be
+// valid for deterministic sketches at their recorded generation, but
+// dropping is the conservative choice).
 func (c *Cache) InvalidateDataset(datasetID string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	prefix := datasetID + "|"
+	bare := datasetID + "|"
+	qual := datasetID + "\x00"
 	for key, el := range c.entries {
-		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+		if strings.HasPrefix(key, bare) || strings.HasPrefix(key, qual) {
 			c.order.Remove(el)
 			delete(c.entries, key)
 		}

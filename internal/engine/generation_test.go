@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestQualifyDataset(t *testing.T) {
+	if got := QualifyDataset("flights", 0); got != "flights" {
+		t.Errorf("gen 0 must keep the bare ID, got %q", got)
+	}
+	if got := QualifyDataset("flights", 7); got != "flights\x007" {
+		t.Errorf("QualifyDataset(flights,7) = %q", got)
+	}
+	k0, ok0 := KeyAt("d", 0, histSketch())
+	k1, ok1 := KeyAt("d", 1, histSketch())
+	k2, ok2 := KeyAt("d", 2, histSketch())
+	if !ok0 || !ok1 || !ok2 {
+		t.Fatal("histogram sketch must be cacheable")
+	}
+	base, _ := Key("d", histSketch())
+	if k0 != base {
+		t.Errorf("KeyAt gen 0 = %q, want the unqualified key %q", k0, base)
+	}
+	if k1 == k0 || k2 == k1 {
+		t.Errorf("generations must produce distinct keys: %q %q %q", k0, k1, k2)
+	}
+}
+
+// TestCacheInvalidateGenerations pins that invalidating a dataset drops
+// entries of every generation of it — and only of it.
+func TestCacheInvalidateGenerations(t *testing.T) {
+	c := NewCache(0)
+	sk := histSketch()
+	keys := []string{}
+	for gen := uint64(0); gen < 3; gen++ {
+		k, _ := KeyAt("d", gen, sk)
+		c.Put(k, int64(gen))
+		keys = append(keys, k)
+	}
+	other, _ := KeyAt("d2", 1, sk)
+	c.Put(other, int64(99))
+	c.InvalidateDataset("d")
+	for _, k := range keys {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("key %q survived InvalidateDataset", k)
+		}
+	}
+	if _, ok := c.Get(other); !ok {
+		t.Error("unrelated dataset's entry was invalidated")
+	}
+}
+
+// TestRootAdvance pins the generation contract: Advance bumps the
+// generation, drops the stale instance so the loader re-reads the
+// source, and invalidates cached results, so the same cacheable query
+// observes the new contents.
+func TestRootAdvance(t *testing.T) {
+	var loads atomic.Int64
+	loader := func(id, source string) (IDataSet, error) {
+		n := loads.Add(1)
+		// Each load returns a different dataset: n partitions.
+		return NewLocal(id, genParts(id, int(n), 200, 42), Config{Parallelism: 2, AggregationWindow: -1}), nil
+	}
+	r := NewRoot(loader)
+	if _, err := r.Load("d", "whatever"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.DatasetGeneration("d"); got != 0 {
+		t.Fatalf("fresh dataset generation = %d, want 0", got)
+	}
+
+	ctx := context.Background()
+	res1, err := r.RunSketch(ctx, "d", histSketch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached: a repeat query must not re-execute or re-load.
+	if _, err := r.RunSketch(ctx, "d", histSketch(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := loads.Load(); got != 1 {
+		t.Fatalf("loader ran %d times before Advance, want 1", got)
+	}
+
+	if gen := r.Advance("d"); gen != 1 {
+		t.Fatalf("Advance returned %d, want 1", gen)
+	}
+	res2, err := r.RunSketch(ctx, "d", histSketch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loads.Load(); got != 2 {
+		t.Fatalf("loader ran %d times after Advance, want 2 (stale instance must be dropped)", got)
+	}
+	if reflect.DeepEqual(res1, res2) {
+		t.Fatal("query after Advance returned the pre-advance result (stale cache)")
+	}
+	// And the new generation's result is itself cached.
+	if _, err := r.RunSketch(ctx, "d", histSketch(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := loads.Load(); got != 2 {
+		t.Fatalf("loader ran %d times on the advanced generation's repeat, want 2", got)
+	}
+}

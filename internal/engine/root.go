@@ -51,6 +51,7 @@ type Root struct {
 	datasets map[string]IDataSet
 	log      []Op
 	byID     map[string]int // dataset ID -> index in log
+	gens     map[string]uint64
 	cache    *Cache
 	replays  obs.Counter // number of replay executions (for tests/metrics)
 }
@@ -61,8 +62,43 @@ func NewRoot(loader Loader) *Root {
 		loader:   loader,
 		datasets: make(map[string]IDataSet),
 		byID:     make(map[string]int),
+		gens:     make(map[string]uint64),
 		cache:    NewCache(0),
 	}
+}
+
+// GenerationProvider reports the current generation of a dataset: a
+// counter that advances whenever the dataset's live contents change
+// (e.g. an ingest seal). Static datasets stay at generation 0 forever.
+// The serving layer qualifies its dedup and batch keys with it so
+// results computed against different live sets never alias.
+type GenerationProvider interface {
+	DatasetGeneration(id string) uint64
+}
+
+// DatasetGeneration implements GenerationProvider.
+func (r *Root) DatasetGeneration(id string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gens[id]
+}
+
+// Advance bumps a dataset's generation after its underlying source
+// changed (an ingest seal): the soft-state instance is dropped — the
+// next access re-runs the loader against the new live set — and every
+// cached result of any generation of the dataset is invalidated, so
+// queries switch to the new contents atomically. Returns the new
+// generation. Derived datasets (maps/filters of id) replay lazily when
+// their own stale instances are dropped; advancing the source does not
+// cascade to them.
+func (r *Root) Advance(id string) uint64 {
+	r.mu.Lock()
+	r.gens[id]++
+	gen := r.gens[id]
+	delete(r.datasets, id)
+	r.mu.Unlock()
+	r.cache.InvalidateDataset(id)
+	return gen
 }
 
 // Cache exposes the computation cache (for stats and tests).
@@ -219,7 +255,8 @@ func (r *Root) DropAll() {
 // and missing-dataset recovery. Partial results stream to onPartial.
 func (r *Root) RunSketch(ctx context.Context, datasetID string, sk sketch.Sketch, onPartial PartialFunc) (sketch.Result, error) {
 	tr := obs.TraceFrom(ctx)
-	key, cacheable := Key(datasetID, sk)
+	gen := r.DatasetGeneration(datasetID)
+	key, cacheable := KeyAt(datasetID, gen, sk)
 	if cacheable {
 		if res, ok := r.cache.Get(key); ok {
 			tr.Annotate("engine.cache_hit", "")
@@ -245,7 +282,10 @@ func (r *Root) RunSketch(ctx context.Context, datasetID string, sk sketch.Sketch
 	if err != nil {
 		return nil, err
 	}
-	if cacheable {
+	// A generation advance mid-query may have replayed the dataset
+	// against a newer live set than the key says; cache only when the
+	// generation the key names is still current.
+	if cacheable && r.DatasetGeneration(datasetID) == gen {
 		r.cache.Put(key, res)
 	}
 	return res, nil

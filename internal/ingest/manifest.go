@@ -1,0 +1,285 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+
+	"repro/internal/table"
+)
+
+// The manifest is the append-only log that defines a dataset: nothing
+// on disk is part of the live dataset unless a valid manifest record
+// says so. Layout:
+//
+//	header   8 bytes   "HVMF" 0x01 0x00 0x00 0x00
+//	record   uint32 LE payload length
+//	         payload
+//	         uint32 LE CRC32-C of the payload
+//
+// Payloads (all integers uvarint unless noted):
+//
+//	kind 1, schema   ncols, then per column: len(name), name, kind byte.
+//	                 Written once, immediately after the header, before
+//	                 any seal — it fixes the dataset schema forever.
+//	kind 2, seal     seq, rows, len(name), name. The named partition
+//	                 file (already renamed into place and dir-synced)
+//	                 joins the live set as sealed partition seq.
+//
+// Recovery scans records in order and stops at the first torn or
+// corrupt one — truncated length field, length outside bounds, CRC
+// mismatch, unknown kind, malformed payload — truncating the manifest
+// file back to the last valid boundary. Because a seal record is
+// appended (and fsynced) only after its partition file is fully
+// durable, truncation can only ever drop un-acknowledged seals, and a
+// partition file without a surviving record is garbage-collected.
+var manifestMagic = [8]byte{'H', 'V', 'M', 'F', 1, 0, 0, 0}
+
+const (
+	recSchema byte = 1
+	recSeal   byte = 2
+
+	// maxRecordLen bounds one record payload; a crafted length field
+	// cannot make the reader allocate more than this.
+	maxRecordLen = 1 << 20
+)
+
+var manifestCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoDataset reports that a directory holds no (recoverable) ingest
+// dataset: no manifest, or one whose header/schema record never became
+// durable — which also proves no partition was ever sealed.
+var ErrNoDataset = errors.New("ingest: no dataset")
+
+// sealRecord is one decoded seal entry.
+type sealRecord struct {
+	Seq  uint64
+	Rows int
+	Name string
+}
+
+// appendUvarint appends v in unsigned varint encoding.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// frameRecord wraps a payload in the length/CRC framing.
+func frameRecord(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+8)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, manifestCRC))
+}
+
+// encodeSchemaRecord renders the schema payload.
+func encodeSchemaRecord(schema *table.Schema) []byte {
+	p := []byte{recSchema}
+	p = appendUvarint(p, uint64(schema.NumColumns()))
+	for _, cd := range schema.Columns {
+		p = appendUvarint(p, uint64(len(cd.Name)))
+		p = append(p, cd.Name...)
+		p = append(p, byte(cd.Kind))
+	}
+	return p
+}
+
+// encodeSealRecord renders a seal payload.
+func encodeSealRecord(r sealRecord) []byte {
+	p := []byte{recSeal}
+	p = appendUvarint(p, r.Seq)
+	p = appendUvarint(p, uint64(r.Rows))
+	p = appendUvarint(p, uint64(len(r.Name)))
+	return append(p, r.Name...)
+}
+
+// manifestView is the result of one scan: the decoded prefix of valid
+// records and where it ends.
+type manifestView struct {
+	schema   *table.Schema
+	seals    []sealRecord
+	validLen int64 // bytes of header + valid records
+	torn     bool  // bytes beyond validLen exist (torn/corrupt tail)
+}
+
+// scanManifest decodes a manifest image. It is the hardened reader: any
+// byte string must either decode to a (possibly empty) valid prefix or
+// return ErrNoDataset — never panic, never allocate beyond bounds. An
+// image whose header or schema record is damaged returns ErrNoDataset:
+// both are written and fsynced before the first seal can exist, so a
+// damaged prefix proves the dataset held no data.
+func scanManifest(data []byte) (manifestView, error) {
+	v := manifestView{}
+	if len(data) < len(manifestMagic) {
+		return v, fmt.Errorf("%w: manifest header torn (%d bytes)", ErrNoDataset, len(data))
+	}
+	for i, b := range manifestMagic {
+		if data[i] != b {
+			return v, fmt.Errorf("%w: bad manifest magic", ErrNoDataset)
+		}
+	}
+	off := int64(len(manifestMagic))
+	v.validLen = off
+scan:
+	for {
+		payload, next, ok := nextRecord(data, off)
+		if !ok {
+			v.torn = int64(len(data)) > v.validLen
+			break
+		}
+		kind := payload[0]
+		switch {
+		case kind == recSchema && v.schema == nil && len(v.seals) == 0:
+			schema, err := decodeSchemaPayload(payload[1:])
+			if err != nil {
+				v.torn = true
+				break scan
+			}
+			v.schema = schema
+		case kind == recSeal && v.schema != nil:
+			// The writer allocates seq serially, so a valid prefix is
+			// exactly 1..n; anything else is corruption.
+			rec, err := decodeSealPayload(payload[1:])
+			if err != nil || rec.Seq != uint64(len(v.seals))+1 {
+				v.torn = true
+				break scan
+			}
+			v.seals = append(v.seals, rec)
+		default:
+			// Unknown kind, duplicate schema, or a seal before the schema:
+			// corrupt from here on.
+			v.torn = true
+			break scan
+		}
+		off = next
+		v.validLen = off
+	}
+	// Every exit funnels through here: an image with no decodable
+	// schema record — however its tail looked — holds no dataset.
+	if v.schema == nil {
+		return manifestView{}, fmt.Errorf("%w: manifest has no schema record", ErrNoDataset)
+	}
+	return v, nil
+}
+
+// nextRecord decodes the record framing at off; ok is false when the
+// bytes from off do not form a complete, CRC-valid, non-empty record.
+func nextRecord(data []byte, off int64) (payload []byte, next int64, ok bool) {
+	rest := data[off:]
+	if len(rest) < 4 {
+		return nil, 0, false
+	}
+	n := int64(binary.LittleEndian.Uint32(rest))
+	if n == 0 || n > maxRecordLen || int64(len(rest)) < 4+n+4 {
+		return nil, 0, false
+	}
+	payload = rest[4 : 4+n]
+	want := binary.LittleEndian.Uint32(rest[4+n:])
+	if crc32.Checksum(payload, manifestCRC) != want {
+		return nil, 0, false
+	}
+	return payload, off + 4 + n + 4, true
+}
+
+// decodeSchemaPayload parses the schema record body.
+func decodeSchemaPayload(p []byte) (*table.Schema, error) {
+	ncols, p, err := readUvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if ncols == 0 || ncols > 4096 {
+		return nil, fmt.Errorf("ingest: %d schema columns out of range", ncols)
+	}
+	cols := make([]table.ColumnDesc, 0, ncols)
+	seen := map[string]bool{}
+	for i := uint64(0); i < ncols; i++ {
+		var name string
+		name, p, err = readString(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(p) < 1 {
+			return nil, fmt.Errorf("ingest: schema record truncated")
+		}
+		kind := table.Kind(p[0])
+		p = p[1:]
+		switch kind {
+		case table.KindInt, table.KindDouble, table.KindString, table.KindDate:
+		default:
+			return nil, fmt.Errorf("ingest: schema column %q has invalid kind %d", name, kind)
+		}
+		if name == "" || seen[name] {
+			return nil, fmt.Errorf("ingest: schema column name %q empty or duplicate", name)
+		}
+		seen[name] = true
+		cols = append(cols, table.ColumnDesc{Name: name, Kind: kind})
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("ingest: %d trailing bytes in schema record", len(p))
+	}
+	return table.NewSchema(cols...), nil
+}
+
+// decodeSealPayload parses a seal record body.
+func decodeSealPayload(p []byte) (sealRecord, error) {
+	var (
+		rec sealRecord
+		err error
+	)
+	rec.Seq, p, err = readUvarint(p)
+	if err != nil {
+		return rec, err
+	}
+	rows, p, err := readUvarint(p)
+	if err != nil {
+		return rec, err
+	}
+	if rows > 1<<40 {
+		return rec, fmt.Errorf("ingest: seal row count %d out of range", rows)
+	}
+	rec.Rows = int(rows)
+	rec.Name, p, err = readString(p)
+	if err != nil {
+		return rec, err
+	}
+	if rec.Seq == 0 || rec.Name != partName(rec.Seq) {
+		return rec, fmt.Errorf("ingest: seal record name %q does not match seq %d", rec.Name, rec.Seq)
+	}
+	if len(p) != 0 {
+		return rec, fmt.Errorf("ingest: %d trailing bytes in seal record", len(p))
+	}
+	return rec, nil
+}
+
+func readUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("ingest: truncated varint")
+	}
+	return v, p[n:], nil
+}
+
+func readString(p []byte) (string, []byte, error) {
+	n, p, err := readUvarint(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(p)) || n > 4096 {
+		return "", nil, fmt.Errorf("ingest: string length %d out of bounds", n)
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+// readManifest loads and scans a manifest file; a missing file maps to
+// ErrNoDataset.
+func readManifest(fsys FS, path string) (manifestView, error) {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return manifestView{}, fmt.Errorf("%w: %s", ErrNoDataset, path)
+		}
+		return manifestView{}, err
+	}
+	return scanManifest(data)
+}

@@ -1,0 +1,56 @@
+package ingest
+
+import "repro/internal/obs"
+
+// Metrics is the ingestion telemetry set. One Metrics instance is
+// shared by every dataset of a Store; gauges track aggregates across
+// them. The zero value is ready — datasets tick the counters whether or
+// not Register was called, and Register wires them into an obs group
+// (the register-through-obs rule: the hillview binary registers this
+// group so /metrics and /api/status stay in sync).
+type Metrics struct {
+	// Appends counts Append calls; AppendedRows the rows they buffered.
+	Appends, AppendedRows obs.Counter
+	// Seals counts durably sealed partitions; SealedRows their rows.
+	Seals, SealedRows obs.Counter
+	// Recoveries counts Open calls that ran recovery; TornTruncated the
+	// manifests truncated at a torn record; OrphansRemoved the
+	// garbage-collected temp/unreferenced partition files.
+	Recoveries, TornTruncated, OrphansRemoved obs.Counter
+	// StandingRegistered counts standing-query registrations;
+	// StandingUpdates the incremental re-merges applied on seals.
+	StandingRegistered, StandingUpdates obs.Counter
+	// OpenSegmentRows is the rows currently buffered in open segments;
+	// LivePartitions the sealed partitions in live sets.
+	OpenSegmentRows, LivePartitions obs.Gauge
+	// SealLatency is the end-to-end durable-seal latency (write, fsync,
+	// rename, dir fsync, manifest append, fsync), in nanoseconds.
+	SealLatency obs.Histogram
+}
+
+// Register wires the metrics into an obs group.
+func (m *Metrics) Register(g *obs.Group) {
+	g.CounterFunc("appends", "Append calls accepted", m.Appends.Load)
+	g.CounterFunc("appended_rows", "rows buffered into open segments", m.AppendedRows.Load)
+	g.CounterFunc("seals", "partitions sealed durably", m.Seals.Load)
+	g.CounterFunc("sealed_rows", "rows sealed into immutable partitions", m.SealedRows.Load)
+	g.CounterFunc("recoveries", "manifest recovery scans executed", m.Recoveries.Load)
+	g.CounterFunc("torn_records_truncated", "manifests truncated at a torn record", m.TornTruncated.Load)
+	g.CounterFunc("orphans_removed", "orphaned temp/unreferenced files garbage-collected", m.OrphansRemoved.Load)
+	g.CounterFunc("standing_registered", "standing-query registrations", m.StandingRegistered.Load)
+	g.CounterFunc("standing_updates", "incremental standing-query re-merges", m.StandingUpdates.Load)
+	g.GaugeFunc("open_segment_rows", "rows buffered in open segments", m.OpenSegmentRows.Load)
+	g.GaugeFunc("live_partitions", "sealed partitions in live sets", m.LivePartitions.Load)
+	g.RegisterHistogram("seal_latency", "durable seal latency", &m.SealLatency)
+}
+
+// metricsOrNil lets datasets tick a shared Metrics without nil checks
+// at every site.
+var nopMetrics Metrics
+
+func (c Config) metrics() *Metrics {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return &nopMetrics
+}

@@ -47,8 +47,11 @@ type batchExec struct {
 
 // joinBatch subscribes a cacheable query to its dataset's open batching
 // window, dedup-joining an existing flight for the same key when one is
-// already registered (pending or executing).
-func (s *Scheduler) joinBatch(tr *obs.Trace, key, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (*flight, *subscriber) {
+// already registered (pending or executing). batchID is the
+// generation-qualified dataset identity the window gathers under — two
+// queries may share a scan only when they scan the same live set;
+// datasetID is the bare ID the execution runs against.
+func (s *Scheduler) joinBatch(tr *obs.Trace, key, batchID, datasetID string, sk sketch.Sketch, onPartial engine.PartialFunc) (*flight, *subscriber) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if fl := s.flights[key]; fl != nil {
@@ -63,23 +66,23 @@ func (s *Scheduler) joinBatch(tr *obs.Trace, key, datasetID string, sk sketch.Sk
 		fl.bwin = tr.StartSpan("serve.batch_window")
 	}
 	sub := fl.subscribe(onPartial)
-	b := s.batches[datasetID]
+	b := s.batches[batchID]
 	if b == nil {
 		b = &pendingBatch{}
-		s.batches[datasetID] = b
-		time.AfterFunc(s.cfg.BatchWindow, func() { s.formBatch(datasetID, b) })
+		s.batches[batchID] = b
+		time.AfterFunc(s.cfg.BatchWindow, func() { s.formBatch(batchID, datasetID, b) })
 	}
 	b.flights = append(b.flights, fl)
 	b.sketches = append(b.sketches, sk)
 	return fl, sub
 }
 
-// formBatch closes a dataset's batching window and launches the
-// gathered flights: solo when one remains, as a MultiSketch otherwise.
-func (s *Scheduler) formBatch(datasetID string, b *pendingBatch) {
+// formBatch closes a window and launches the gathered flights: solo
+// when one remains, as a MultiSketch otherwise.
+func (s *Scheduler) formBatch(batchID, datasetID string, b *pendingBatch) {
 	s.mu.Lock()
-	if s.batches[datasetID] == b {
-		delete(s.batches, datasetID)
+	if s.batches[batchID] == b {
+		delete(s.batches, batchID)
 	}
 	// A flight abandoned before formation was already unregistered and
 	// cancelled by wait (its batch field was still nil); drop it here so

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sketch"
+)
+
+// genRunner is a fakeRunner that also reports dataset generations, so
+// the scheduler qualifies its dedup and batch keys with them.
+type genRunner struct {
+	fakeRunner
+	gen atomic.Uint64
+}
+
+func (g *genRunner) DatasetGeneration(id string) uint64 { return g.gen.Load() }
+
+// TestGenerationSplitsDedup pins the staleness contract: a query that
+// arrives after the dataset's generation advanced must not join a
+// flight started against the previous live set — even though dataset
+// and sketch are identical.
+func TestGenerationSplitsDedup(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 4)
+	run := &genRunner{}
+	run.fn = func(ctx context.Context, _ string, _ sketch.Sketch, _ engine.PartialFunc) (sketch.Result, error) {
+		started <- struct{}{}
+		<-block
+		return int64(run.gen.Load()), nil
+	}
+	s := New(run, Config{MaxInFlight: 4, Deadline: -1})
+	if s.gens == nil {
+		t.Fatal("scheduler did not detect the runner's GenerationProvider")
+	}
+
+	var wg sync.WaitGroup
+	results := make(chan sketch.Result, 3)
+	launch := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.RunSketch(context.Background(), "d", cacheableSketch(), nil)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- res
+		}()
+	}
+	launch()
+	<-started // first flight executing at generation 0
+
+	// Same query again at generation 0: must join, not re-execute.
+	launch()
+	for i := 0; i < 1000 && s.Stats().DedupJoins == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.Stats().DedupJoins; got != 1 {
+		t.Fatalf("dedup joins = %d, want 1", got)
+	}
+
+	// Advance the generation (an ingest seal) and query again: the new
+	// query must start its own execution against the new live set.
+	run.gen.Add(1)
+	launch()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-advance query never started its own execution")
+	}
+	close(block)
+	wg.Wait()
+	if got := run.calls.Load(); got != 2 {
+		t.Fatalf("underlying executions = %d, want 2 (one per generation)", got)
+	}
+}
+
+// TestGenerationSplitsBatchWindow pins the same contract for scan
+// batching: queries on different generations of one dataset must not
+// coalesce into one leaf pass.
+func TestGenerationSplitsBatchWindow(t *testing.T) {
+	run := &genRunner{}
+	run.fn = func(ctx context.Context, _ string, sk sketch.Sketch, _ engine.PartialFunc) (sketch.Result, error) {
+		if ms, ok := sk.(*sketch.MultiSketch); ok {
+			res := ms.Zero().(*sketch.MultiResult)
+			for i := range res.Members {
+				res.Members[i] = int64(i)
+			}
+			return res, nil
+		}
+		return int64(0), nil
+	}
+	// The window is generous so both windows are reliably open at once
+	// when the test inspects them.
+	s := New(run, Config{MaxInFlight: 4, Deadline: -1, BatchWindow: 500 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	runOne := func(sk sketch.Sketch) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.RunSketch(context.Background(), "d", sk, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Two distinct cacheable sketches at generation 0 open a window...
+	runOne(cacheableSketch())
+	for i := 0; i < 1000; i++ {
+		s.mu.Lock()
+		n := len(s.batches)
+		s.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...then the generation advances and a third query arrives: it must
+	// open its own window keyed by the new generation.
+	run.gen.Add(1)
+	runOne(&sketch.DistinctCountSketch{Col: "x"})
+	n := 0
+	for i := 0; i < 1000; i++ {
+		s.mu.Lock()
+		n = len(s.batches)
+		s.mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n != 2 {
+		t.Fatalf("open batch windows = %d, want 2 (one per generation)", n)
+	}
+	wg.Wait()
+}

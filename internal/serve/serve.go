@@ -139,6 +139,11 @@ type Scheduler struct {
 	run   Runner
 	cfg   Config
 	slots chan struct{} // execution semaphore; buffered to MaxInFlight
+	// gens, when the runner provides generations (*engine.Root does),
+	// qualifies dedup and batch keys with the dataset's generation, so a
+	// query started before an ingest seal never shares its execution or
+	// result with one started after.
+	gens engine.GenerationProvider
 
 	inflight  atomic.Int64
 	queued    atomic.Int64
@@ -164,16 +169,31 @@ type Scheduler struct {
 	batches map[string]*pendingBatch // per datasetID, while a window is open
 }
 
-// New builds a scheduler over run.
+// New builds a scheduler over run. When run reports dataset generations
+// (engine.GenerationProvider — *engine.Root does), dedup and batch keys
+// are generation-qualified automatically.
 func New(run Runner, cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
-	return &Scheduler{
+	s := &Scheduler{
 		run:     run,
 		cfg:     cfg,
 		slots:   make(chan struct{}, cfg.MaxInFlight),
 		flights: make(map[string]*flight),
 		batches: make(map[string]*pendingBatch),
 	}
+	if gp, ok := run.(engine.GenerationProvider); ok {
+		s.gens = gp
+	}
+	return s
+}
+
+// generation resolves a dataset's current generation (0 when the runner
+// does not track them).
+func (s *Scheduler) generation(datasetID string) uint64 {
+	if s.gens == nil {
+		return 0
+	}
+	return s.gens.DatasetGeneration(datasetID)
 }
 
 // Config returns the scheduler's effective (defaulted) configuration.
@@ -221,16 +241,21 @@ func (s *Scheduler) RunSketch(ctx context.Context, datasetID string, sk sketch.S
 	// the cache key identifies the result, so every subscriber is owed
 	// the same bits. Randomized sketches carry explicit seeds — equal
 	// seeds make them cacheable too; distinct seeds mean distinct
-	// queries, which is exactly what the key captures.
-	key, sharable := engine.Key(datasetID, sk)
+	// queries, which is exactly what the key captures. Growing datasets
+	// add their generation to the identity: a result is a pure function
+	// of (dataset contents, sketch), and the generation stands in for
+	// the contents.
+	qualified := engine.QualifyDataset(datasetID, s.generation(datasetID))
+	key, sharable := engine.Key(qualified, sk)
 	if !sharable {
 		return s.classify(s.execute(ctx, datasetID, sk, onPartial))
 	}
 	// WholePartition sketches change the leaf chunk geometry for every
 	// member of a batch, which would break the bit-identity contract, so
-	// they keep the plain single-flight path.
+	// they keep the plain single-flight path. Batches gather per
+	// qualified dataset: members must all scan the same live set.
 	if _, whole := sk.(sketch.WholePartition); s.cfg.BatchWindow > 0 && !whole {
-		fl, sub := s.joinBatch(tr, key, datasetID, sk, onPartial)
+		fl, sub := s.joinBatch(tr, key, qualified, datasetID, sk, onPartial)
 		return s.classify(fl.wait(ctx, s, sub))
 	}
 	fl, sub := s.joinFlight(tr, key, datasetID, sk, onPartial)

@@ -187,6 +187,21 @@ func MergeAll(sk Sketch, results ...Result) (Result, error) {
 	return acc, nil
 }
 
+// Extend folds one more partition into a running summary: the
+// incremental form of MergeAll. Standing queries over a growing dataset
+// use it when a new partition is sealed — only the new partition is
+// summarized and re-merged into the running result, never the already
+// covered data (the mergeability payoff of §4). Because Merge must not
+// mutate its arguments, the previous running result stays valid for
+// readers that still hold it.
+func Extend(sk Sketch, running Result, t *table.Table) (Result, error) {
+	s, err := sk.Summarize(t)
+	if err != nil {
+		return nil, err
+	}
+	return sk.Merge(running, s)
+}
+
 // MergeTree folds a list of results with a pairwise merge tree:
 // neighbors merge level by level until one summary remains. Because
 // Merge is associative and commutative this equals the sequential fold;

@@ -50,7 +50,7 @@ func (o *ChartOptions) fill() {
 // data-wide parameters a chart needs — numeric range or string bucket
 // boundaries — through cacheable sketches.
 func (v *View) prepareBuckets(ctx context.Context, col string, bars int) (sketch.BucketSpec, *sketch.DataRange, error) {
-	kind, err := v.kindOf(col)
+	kind, err := v.kindOf(ctx, col)
 	if err != nil {
 		return sketch.BucketSpec{}, nil, err
 	}

@@ -12,6 +12,7 @@ package spreadsheet
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/engine"
@@ -81,10 +82,16 @@ func (s *Sheet) nextSeed() uint64 {
 }
 
 // View is one table view (a loaded dataset or a derived selection).
+// Its metadata is a per-generation fact: streaming ingestion grows a
+// dataset in place, so the cached schema and row count are re-fetched
+// whenever the dataset's generation has advanced.
 type View struct {
 	sheet *Sheet
 	id    string
-	meta  *sketch.TableMeta
+
+	mu   sync.Mutex
+	meta *sketch.TableMeta
+	gen  uint64
 }
 
 // Load opens a dataset from a storage source and returns its root view.
@@ -97,25 +104,69 @@ func (s *Sheet) Load(ctx context.Context, name, source string) (*View, error) {
 
 // view builds a View and fetches its metadata.
 func (s *Sheet) view(ctx context.Context, id string) (*View, error) {
-	res, err := s.run.RunSketch(ctx, id, &sketch.MetaSketch{}, nil)
+	v := &View{sheet: s, id: id}
+	if _, err := v.metaAt(ctx); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// metaAt returns the view's metadata for the dataset's current
+// generation, re-running the (cacheable) meta sketch after the dataset
+// has grown.
+func (v *View) metaAt(ctx context.Context) (*sketch.TableMeta, error) {
+	gen := v.sheet.root.DatasetGeneration(v.id)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.meta != nil && gen == v.gen {
+		return v.meta, nil
+	}
+	res, err := v.sheet.run.RunSketch(ctx, v.id, &sketch.MetaSketch{}, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &View{sheet: s, id: id, meta: res.(*sketch.TableMeta)}, nil
+	v.meta, v.gen = res.(*sketch.TableMeta), gen
+	return v.meta, nil
+}
+
+// cachedMeta returns the last fetched metadata without refreshing.
+func (v *View) cachedMeta() *sketch.TableMeta {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.meta
 }
 
 // ID returns the view's dataset identifier.
 func (v *View) ID() string { return v.id }
 
-// Schema returns the view schema.
-func (v *View) Schema() *table.Schema { return v.meta.Schema }
+// Schema returns the view schema (nil while the dataset has no rows).
+func (v *View) Schema() *table.Schema {
+	m, err := v.metaAt(context.Background())
+	if err != nil {
+		m = v.cachedMeta()
+	}
+	return m.Schema
+}
 
 // NumRows returns the total row count.
-func (v *View) NumRows() int64 { return v.meta.Rows }
+func (v *View) NumRows() int64 {
+	m, err := v.metaAt(context.Background())
+	if err != nil {
+		m = v.cachedMeta()
+	}
+	return m.Rows
+}
 
 // kindOf resolves a column kind.
-func (v *View) kindOf(col string) (table.Kind, error) {
-	cd, err := v.meta.Schema.Column(col)
+func (v *View) kindOf(ctx context.Context, col string) (table.Kind, error) {
+	m, err := v.metaAt(ctx)
+	if err != nil {
+		return table.KindNone, err
+	}
+	if m.Schema == nil {
+		return table.KindNone, fmt.Errorf("dataset %q holds no rows yet", v.id)
+	}
+	cd, err := m.Schema.Column(col)
 	if err != nil {
 		return table.KindNone, err
 	}

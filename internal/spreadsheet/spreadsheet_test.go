@@ -50,7 +50,7 @@ func TestLoadAndMeta(t *testing.T) {
 	if v.Schema().ColumnIndex("Carrier") < 0 {
 		t.Error("schema missing Carrier")
 	}
-	if _, err := v.kindOf("DepDelay"); err != nil {
+	if _, err := v.kindOf(context.Background(), "DepDelay"); err != nil {
 		t.Error(err)
 	}
 }

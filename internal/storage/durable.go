@@ -1,0 +1,30 @@
+package storage
+
+import "os"
+
+// SyncFile fsyncs the named file, making its contents durable. The
+// file writers in this package leave durability to the caller (query
+// paths rewrite soft state freely); generators producing shards that
+// must survive a crash — hillview-gen, the ingest sealing path — sync
+// explicitly.
+func SyncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// SyncDir fsyncs a directory, making its entries (file names created
+// or renamed inside it) durable. On POSIX systems a file is not
+// reachable after a crash until its directory entry is synced, however
+// durable its contents.
+func SyncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

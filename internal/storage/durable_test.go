@@ -1,0 +1,27 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSyncFileAndDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard.hvc")
+	if err := os.WriteFile(path, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncFile(path); err != nil {
+		t.Fatalf("SyncFile: %v", err)
+	}
+	if err := SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := SyncFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("SyncFile on a missing path returned nil, want error")
+	}
+	if err := SyncDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("SyncDir on a missing path returned nil, want error")
+	}
+}

@@ -25,6 +25,7 @@ var (
 	failoverFlag = flag.Int("testkit.failoverseeds", 1, "number of replicated-failover battery seeds to run")
 	overloadFlag = flag.Int("testkit.overloadseeds", 1, "number of overload-battery seeds to run")
 	batchedFlag  = flag.Int("testkit.batchedseeds", 2, "number of scan-batching differential seeds to run")
+	ingestFlag   = flag.Int("testkit.ingestseeds", 2, "number of ingest crash-battery seeds to run")
 	baseFlag     = flag.Uint64("testkit.base", 1, "first seed of the window")
 )
 
@@ -90,6 +91,21 @@ func TestBatchedSeeds(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			if err := RunBatched(seed); err != nil {
 				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestBatchedSeeds/seed=%d$' -testkit.base=%d -testkit.batchedseeds=1", err, seed, seed)
+			}
+		})
+	}
+}
+
+// TestIngestSeeds runs the streaming-ingestion battery — append-prefix
+// bit-identity through the full serving stack, standing-query
+// incremental folds, and the crash-point recovery sweep — across its
+// seed window.
+func TestIngestSeeds(t *testing.T) {
+	for i := 0; i < *ingestFlag; i++ {
+		seed := *baseFlag + uint64(i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			if err := RunIngest(seed); err != nil {
+				t.Fatalf("%v\nreproduce with: go test ./internal/testkit -run 'TestIngestSeeds/seed=%d$' -testkit.base=%d -testkit.ingestseeds=1", err, seed, seed)
 			}
 		})
 	}
